@@ -1,0 +1,84 @@
+"""Figure 11 — per-family F1 improvement of MAGIC over ESVC on YANCFG.
+
+The paper plots the relative and absolute F1 deltas: MAGIC beats the
+chained-SVM ensemble on ten of twelve malware families (Benign is not
+reported for ESVC), with the biggest absolute gains (>= 0.2) on Bagle,
+Koobface, Ldpinch and Lmir, and a small regression on Rbot.  Shape to
+hold: MAGIC wins on a clear majority of families, with the largest gains
+on small families.
+"""
+
+import numpy as np
+
+from repro.baselines import EsvcClassifier, dataset_to_matrix, standardize
+from repro.train.metrics import average_reports, evaluate_predictions
+
+from benchmarks.bench_common import save_result
+
+#: F1 scores of ESVC reported in [8] as recovered from Figure 11's deltas
+#: against Table V (Benign not reported).
+PAPER_ESVC_BEHAVIOUR = {
+    "wins_for_magic": ["Bagle", "Bifrose", "Koobface", "Ldpinch", "Lmir",
+                        "Sdbot", "Swizzor", "Vundo", "Zbot", "Zlob"],
+    "losses_for_magic": ["Rbot", "Hupigon"],
+}
+
+
+def cv_esvc(dataset, n_splits=5, seed=3):
+    reports = []
+    for train_idx, val_idx in dataset.stratified_kfold(n_splits, seed=seed):
+        train = [dataset.acfgs[i] for i in train_idx]
+        val = [dataset.acfgs[i] for i in val_idx]
+        x_train, y_train = dataset_to_matrix(train)
+        x_val, y_val = dataset_to_matrix(val)
+        x_train, x_val = standardize(x_train, x_val)
+        model = EsvcClassifier(
+            num_classes=dataset.num_classes, epochs=50, seed=seed
+        )
+        model.fit(x_train, y_train)
+        reports.append(
+            evaluate_predictions(
+                y_val, model.predict_proba(x_val), dataset.num_classes,
+                family_names=dataset.family_names,
+            )
+        )
+    return average_reports(reports)
+
+
+def test_fig11_magic_vs_esvc(benchmark, yancfg_bench, yancfg_cv):
+    esvc_report = cv_esvc(yancfg_bench)
+    magic_report = yancfg_cv.averaged_report
+
+    magic_f1 = {n: s.f1 for n, s in magic_report.scores_by_family().items()}
+    esvc_f1 = {n: s.f1 for n, s in esvc_report.scores_by_family().items()}
+
+    print("\nFigure 11 — F1 improvement of MAGIC over ESVC (YANCFG):")
+    print(f"{'Family':10s}{'MAGIC':>8s}{'ESVC':>8s}{'Absolute':>10s}{'Relative':>10s}")
+    deltas = {}
+    for family in yancfg_bench.family_names:
+        if family == "Benign":
+            continue  # not reported in [8], mirroring the paper
+        absolute = magic_f1[family] - esvc_f1[family]
+        relative = absolute / esvc_f1[family] if esvc_f1[family] > 0 else float("inf")
+        deltas[family] = absolute
+        rel_text = f"{relative:+.3f}" if np.isfinite(relative) else "inf"
+        print(f"{family:10s}{magic_f1[family]:8.3f}{esvc_f1[family]:8.3f}"
+              f"{absolute:+10.3f}{rel_text:>10s}")
+
+    wins = sum(1 for d in deltas.values() if d > 0)
+    print(f"\nMAGIC wins on {wins}/{len(deltas)} families "
+          f"(paper: 10/12 wins)")
+
+    # Shape assertion: MAGIC beats the SVM chain on a clear majority.
+    assert wins >= len(deltas) * 0.55
+
+    benchmark(lambda: dataset_to_matrix(yancfg_bench.acfgs[:40]))
+
+    save_result("fig11_esvc_comparison", {
+        "magic_f1": magic_f1,
+        "esvc_f1": esvc_f1,
+        "absolute_improvement": deltas,
+        "magic_wins": wins,
+        "families_compared": len(deltas),
+        "paper_behaviour": PAPER_ESVC_BEHAVIOUR,
+    })

@@ -1,0 +1,33 @@
+"""Figure 7 — malware family distribution in the MSKCFG dataset.
+
+Regenerates the family histogram: the synthetic corpus preserves the
+real corpus's proportions (Kelihos_ver3 > Lollipop > Ramnit > ... >
+Simda), so the figure's shape reproduces at any corpus scale.
+"""
+
+from repro.datasets import MSKCFG_FAMILY_COUNTS, generate_mskcfg_dataset
+
+from benchmarks.bench_common import save_result
+
+
+def test_fig7_family_distribution(benchmark, mskcfg_bench):
+    counts = benchmark(mskcfg_bench.family_counts)
+
+    print("\nFigure 7 — MSKCFG family distribution (synthetic corpus):")
+    for family, count in counts.items():
+        print(f"  {family:16s} {count:4d} {'#' * count}")
+
+    # Shape assertions against the real distribution.
+    real = MSKCFG_FAMILY_COUNTS
+    assert max(counts, key=counts.get) == max(real, key=real.get)  # Kelihos_ver3
+    # Simda is the smallest family (possibly tied at the per-family floor).
+    assert counts["Simda"] == min(counts.values())
+    # Orderings of the three largest families hold.
+    assert counts["Kelihos_ver3"] >= counts["Lollipop"] >= counts["Ramnit"]
+
+    save_result("fig7_mskcfg_distribution", {
+        "synthetic_counts": counts,
+        "paper_counts": real,
+        "total_synthetic": sum(counts.values()),
+        "total_paper": sum(real.values()),
+    })

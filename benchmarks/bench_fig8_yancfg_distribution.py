@@ -1,0 +1,30 @@
+"""Figure 8 — malware family distribution in the YANCFG dataset.
+
+Regenerates the 13-family histogram (Hupigon dominating, Bagle/Ldpinch/
+Lmir among the smallest), matching the shape of the paper's Figure 8.
+"""
+
+from repro.datasets import YANCFG_FAMILY_COUNTS, generate_yancfg_dataset
+
+from benchmarks.bench_common import save_result
+
+
+def test_fig8_family_distribution(benchmark, yancfg_bench):
+    counts = benchmark(yancfg_bench.family_counts)
+
+    print("\nFigure 8 — YANCFG family distribution (synthetic corpus):")
+    for family, count in counts.items():
+        print(f"  {family:10s} {count:4d} {'#' * count}")
+
+    real = YANCFG_FAMILY_COUNTS
+    assert max(counts, key=counts.get) == "Hupigon"
+    # The paper's small families stay small here.
+    for small in ("Bagle", "Ldpinch", "Lmir"):
+        assert counts[small] <= counts["Hupigon"] / 3
+
+    save_result("fig8_yancfg_distribution", {
+        "synthetic_counts": counts,
+        "paper_counts": real,
+        "total_synthetic": sum(counts.values()),
+        "total_paper": sum(real.values()),
+    })

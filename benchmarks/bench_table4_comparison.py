@@ -1,0 +1,181 @@
+"""Table IV — accuracy / log-loss comparison against prior methods.
+
+The paper's Table IV (MSKCFG, cross-validated):
+
+    XGBoost + heavy feature engineering   log-loss 0.0197  acc 99.42
+    MAGIC (DGCNN)                         log-loss 0.0543  acc 99.25
+    Autoencoder + XGBoost                 log-loss 0.0748  acc 98.20
+    Strand gene sequence classifier       log-loss 0.2228  acc 97.41
+    Ensemble of random forests            (not reported)   acc 99.30
+    Random forest + feature engineering   (not reported)   acc 99.21
+
+Shape to hold at benchmark scale: gradient boosting on engineered
+features and MAGIC both near the top and close to each other, the
+autoencoder pipeline behind them, and Strand clearly worst on log-loss.
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    AutoencoderGbtClassifier,
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+    StrandClassifier,
+    dataset_to_matrix,
+    standardize,
+)
+from repro.train.metrics import average_reports, evaluate_predictions
+
+from benchmarks.bench_common import save_result
+
+PAPER_TABLE4 = {
+    "MAGIC (DGCNN)": {"log_loss": 0.0543, "accuracy": 99.25},
+    "GBT + feature engineering": {"log_loss": 0.0197, "accuracy": 99.42},
+    "Autoencoder + GBT": {"log_loss": 0.0748, "accuracy": 98.20},
+    "Strand sequence classifier": {"log_loss": 0.2228, "accuracy": 97.41},
+    "Call-graph RF ensemble": {"log_loss": None, "accuracy": 99.30},
+    "Random forest": {"log_loss": None, "accuracy": 99.21},
+}
+
+
+def cv_feature_baseline(make_model, dataset, n_splits=5, scale=False, seed=3):
+    """k-fold CV of a feature-vector classifier, mirroring the protocol."""
+    reports = []
+    for train_idx, val_idx in dataset.stratified_kfold(n_splits, seed=seed):
+        train = [dataset.acfgs[i] for i in train_idx]
+        val = [dataset.acfgs[i] for i in val_idx]
+        x_train, y_train = dataset_to_matrix(train)
+        x_val, y_val = dataset_to_matrix(val)
+        if scale:
+            x_train, x_val = standardize(x_train, x_val)
+        model = make_model()
+        model.fit(x_train, y_train)
+        reports.append(
+            evaluate_predictions(
+                y_val, model.predict_proba(x_val), dataset.num_classes
+            )
+        )
+    return average_reports(reports)
+
+
+def cv_call_graph_ensemble(dataset, n_splits=5, seed=3):
+    """5-fold CV of the function-call-graph RF ensemble (row [11]).
+
+    Call graphs are extracted from the same synthetic listings the ACFG
+    corpus was built from (same total/seed, so labels align by index).
+    """
+    from repro.callgraph import CallGraphForestEnsemble, call_graph_from_text
+    from repro.datasets import generate_mskcfg_listings
+
+    from benchmarks import bench_common
+
+    listings = generate_mskcfg_listings(
+        total=bench_common.MSKCFG_TOTAL,
+        seed=bench_common.SEED,
+        minimum_per_family=bench_common.MIN_PER_FAMILY,
+    )
+    graphs = [call_graph_from_text(text, name=name) for name, text, _ in listings]
+    labels = np.array([label for _, _, label in listings])
+    assert len(graphs) == len(dataset), "corpus regeneration must align"
+
+    reports = []
+    for train_idx, val_idx in dataset.stratified_kfold(n_splits, seed=seed):
+        model = CallGraphForestEnsemble(
+            num_classes=dataset.num_classes,
+            bucket_widths=(16, 32, 64),
+            n_estimators=25,
+            seed=seed,
+        )
+        model.fit([graphs[i] for i in train_idx], labels[train_idx])
+        reports.append(
+            evaluate_predictions(
+                labels[val_idx],
+                model.predict_proba([graphs[i] for i in val_idx]),
+                dataset.num_classes,
+            )
+        )
+    return average_reports(reports)
+
+
+def cv_strand(dataset, n_splits=5, seed=3):
+    reports = []
+    for train_idx, val_idx in dataset.stratified_kfold(n_splits, seed=seed):
+        train = [dataset.acfgs[i] for i in train_idx]
+        val = [dataset.acfgs[i] for i in val_idx]
+        model = StrandClassifier(num_classes=dataset.num_classes)
+        model.fit(train, [a.label for a in train])
+        reports.append(
+            evaluate_predictions(
+                np.array([a.label for a in val]),
+                model.predict_proba(val),
+                dataset.num_classes,
+            )
+        )
+    return average_reports(reports)
+
+
+def test_table4_method_comparison(benchmark, mskcfg_bench, mskcfg_cv):
+    num_classes = mskcfg_bench.num_classes
+    rows = {}
+
+    magic_report = mskcfg_cv.averaged_report
+    rows["MAGIC (DGCNN)"] = magic_report
+
+    rows["GBT + feature engineering"] = cv_feature_baseline(
+        lambda: GradientBoostingClassifier(
+            num_classes=num_classes, n_rounds=150, learning_rate=0.2,
+            max_depth=4, seed=0,
+        ),
+        mskcfg_bench,
+    )
+    rows["Autoencoder + GBT"] = cv_feature_baseline(
+        lambda: AutoencoderGbtClassifier(
+            num_classes=num_classes, ae_epochs=60, gbt_rounds=40, seed=0
+        ),
+        mskcfg_bench,
+        scale=True,
+    )
+    rows["Random forest"] = cv_feature_baseline(
+        lambda: RandomForestClassifier(
+            num_classes=num_classes, n_estimators=60, seed=0
+        ),
+        mskcfg_bench,
+    )
+    rows["Call-graph RF ensemble"] = cv_call_graph_ensemble(mskcfg_bench)
+    rows["Strand sequence classifier"] = cv_strand(mskcfg_bench)
+
+    print("\nTable IV — cross-validated comparison on MSKCFG:")
+    print(f"{'Approach':32s}{'LogLoss':>9s}{'Accuracy':>10s}"
+          f"{'Paper LL':>10s}{'Paper Acc':>10s}")
+    ordered = sorted(rows.items(), key=lambda kv: kv[1].log_loss)
+    for name, report in ordered:
+        paper = PAPER_TABLE4[name]
+        paper_ll = f"{paper['log_loss']:.4f}" if paper["log_loss"] else "n/a"
+        print(f"{name:32s}{report.log_loss:9.4f}{100*report.accuracy:9.2f}%"
+              f"{paper_ll:>10s}{paper['accuracy']:9.2f}%")
+
+    # Shape assertions: top tier (GBT, MAGIC, RF) beats Strand on log-loss;
+    # MAGIC is competitive with the engineered-feature ensembles.
+    strand_ll = rows["Strand sequence classifier"].log_loss
+    for top in ("GBT + feature engineering", "MAGIC (DGCNN)", "Random forest"):
+        assert rows[top].log_loss < strand_ll
+    assert rows["MAGIC (DGCNN)"].accuracy > 0.85
+    top_acc = max(r.accuracy for r in rows.values())
+    assert rows["MAGIC (DGCNN)"].accuracy > top_acc - 0.12
+
+    # Benchmark one cheap representative unit: a GBT probability pass.
+    x_all, _ = dataset_to_matrix(mskcfg_bench.acfgs)
+    gbt = GradientBoostingClassifier(num_classes=num_classes, n_rounds=10, seed=0)
+    gbt.fit(x_all[:100], mskcfg_bench.labels()[:100])
+    benchmark(lambda: gbt.predict_proba(x_all[:100]))
+
+    save_result("table4_comparison", {
+        "measured": {
+            name: {
+                "log_loss": report.log_loss,
+                "accuracy": report.accuracy,
+            }
+            for name, report in rows.items()
+        },
+        "paper": PAPER_TABLE4,
+    })

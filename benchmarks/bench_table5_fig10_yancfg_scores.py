@@ -1,0 +1,69 @@
+"""Table V & Figure 10 — per-family cross-validation scores on YANCFG.
+
+The paper observes lower overall scores on YANCFG than MSKCFG (noisy
+AV-vote labels), with the small confusable families — Ldpinch, Lmir,
+Rbot, Sdbot — markedly worse (F1 0.57-0.78) while nine families score
+above 0.9.  The shape to hold here: overall accuracy clearly below the
+MSKCFG run, and the weak quartet's mean F1 clearly below the strong
+families' mean F1.
+"""
+
+import numpy as np
+
+from benchmarks.bench_common import report_to_rows, save_result
+
+PAPER_TABLE5 = {
+    "Bagle": 0.904762,
+    "Benign": 0.958525,
+    "Bifrose": 0.915888,
+    "Hupigon": 0.940454,
+    "Koobface": 1.000000,
+    "Ldpinch": 0.590164,
+    "Lmir": 0.779220,
+    "Rbot": 0.697095,
+    "Sdbot": 0.575342,
+    "Swizzor": 0.995708,
+    "Vundo": 0.986351,
+    "Zbot": 0.939314,
+    "Zlob": 0.979592,
+}
+
+WEAK_FAMILIES = ("Ldpinch", "Lmir", "Rbot", "Sdbot")
+
+
+def test_table5_fig10_yancfg_cv_scores(benchmark, yancfg_bench, yancfg_cv):
+    report = yancfg_cv.averaged_report
+
+    print("\nTable V / Figure 10 — MAGIC on YANCFG (5-fold CV, averaged):")
+    print(report.format_table())
+    print("\nPaper-reported F1 for comparison:")
+    f1_by_family = {n: s.f1 for n, s in report.scores_by_family().items()}
+    for family, paper_f1 in PAPER_TABLE5.items():
+        print(f"  {family:10s} paper={paper_f1:.4f}  "
+              f"measured={f1_by_family[family]:.4f}")
+
+    weak = [f1_by_family[f] for f in WEAK_FAMILIES]
+    strong = [
+        f1 for name, f1 in f1_by_family.items() if name not in WEAK_FAMILIES
+    ]
+    print(f"\nweak-family mean F1  : {np.mean(weak):.3f}")
+    print(f"strong-family mean F1: {np.mean(strong):.3f}")
+
+    # Shape assertions.
+    assert np.mean(weak) < np.mean(strong), (
+        "the confusable IRC-bot/stealer families must score worse"
+    )
+    assert np.mean(strong) > 0.75
+
+    benchmark(lambda: yancfg_bench.family_counts())
+
+    save_result("table5_fig10_yancfg_scores", {
+        "cv_folds": len(yancfg_cv.fold_reports),
+        "accuracy": report.accuracy,
+        "log_loss": report.log_loss,
+        "macro_f1": report.macro_f1,
+        "weak_family_mean_f1": float(np.mean(weak)),
+        "strong_family_mean_f1": float(np.mean(strong)),
+        "per_family": report_to_rows(yancfg_cv),
+        "paper_f1": PAPER_TABLE5,
+    })

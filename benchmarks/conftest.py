@@ -1,0 +1,46 @@
+"""Session-scoped fixtures shared by the experiment benchmarks.
+
+The two cross-validation trainings (MSKCFG and YANCFG) are the expensive
+parts of the evaluation; they run once per session here and are consumed
+by the table/figure benches that report on them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_mskcfg_dataset, generate_yancfg_dataset
+
+from benchmarks import bench_common
+
+
+@pytest.fixture(scope="session")
+def mskcfg_bench():
+    """The benchmark-scale synthetic MSKCFG corpus."""
+    return generate_mskcfg_dataset(
+        total=bench_common.MSKCFG_TOTAL,
+        seed=bench_common.SEED,
+        minimum_per_family=bench_common.MIN_PER_FAMILY,
+    )
+
+
+@pytest.fixture(scope="session")
+def yancfg_bench():
+    """The benchmark-scale synthetic YANCFG corpus."""
+    return generate_yancfg_dataset(
+        total=bench_common.YANCFG_TOTAL,
+        seed=bench_common.SEED,
+        minimum_per_family=bench_common.MIN_PER_FAMILY,
+    )
+
+
+@pytest.fixture(scope="session")
+def mskcfg_cv(mskcfg_bench):
+    """5-fold CV of the best model on MSKCFG (Tables III/IV, Figure 9)."""
+    return bench_common.run_magic_cv(mskcfg_bench)
+
+
+@pytest.fixture(scope="session")
+def yancfg_cv(yancfg_bench):
+    """5-fold CV of the best model on YANCFG (Table V, Figures 10/11)."""
+    return bench_common.run_magic_cv(yancfg_bench)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Extending the Table I attribute set (Section II-B).
+
+The paper notes "more attributes can be conveniently added to further
+improve malware classification performance."  This example measures that
+claim: it trains the same DGCNN twice — once on the 11 Table I
+attributes, once with four extra channels (in-degree, mnemonic entropy,
+unique-mnemonic count, operand count) — and compares validation scores.
+
+Run:  python examples/extended_attributes.py [--total 120] [--epochs 15]
+"""
+
+import argparse
+
+from repro.core import Magic, ModelConfig
+from repro.datasets import generate_mskcfg_dataset
+from repro.features import (
+    disable_extended_attributes,
+    enable_extended_attributes,
+    num_attributes,
+)
+from repro.train import TrainingConfig
+
+
+def train_once(total, epochs, seed, label):
+    dataset = generate_mskcfg_dataset(total=total, seed=seed,
+                                      minimum_per_family=8)
+    train, test = dataset.stratified_split(0.2, seed=seed)
+    channels = dataset.acfgs[0].num_attributes
+    config = ModelConfig(
+        num_attributes=channels,
+        num_classes=dataset.num_classes,
+        pooling="adaptive",
+        graph_conv_sizes=(32, 32, 32, 32),
+        amp_grid=(3, 3),
+        conv2d_channels=16,
+        hidden_size=64,
+        dropout=0.1,
+        seed=seed,
+    )
+    magic = Magic(config, dataset.family_names)
+    history = magic.fit(
+        train.acfgs, test.acfgs,
+        TrainingConfig(epochs=epochs, batch_size=10,
+                       learning_rate=3e-3, seed=seed),
+    )
+    report = magic.evaluate(test.acfgs)
+    print(f"{label:28s} channels={channels:2d} "
+          f"accuracy={report.accuracy:.3f} "
+          f"macro_f1={report.macro_f1:.3f} "
+          f"best_val_loss={history.best_validation_loss:.4f}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--total", type=int, default=120)
+    parser.add_argument("--epochs", type=int, default=15)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"Baseline attribute set: {num_attributes()} channels (Table I)\n")
+    baseline = train_once(args.total, args.epochs, args.seed,
+                          "Table I attributes")
+
+    added = enable_extended_attributes()
+    try:
+        print(f"\nExtended with: {', '.join(added)}\n")
+        extended = train_once(args.total, args.epochs, args.seed,
+                              "Table I + extended")
+    finally:
+        disable_extended_attributes()
+
+    delta = extended.macro_f1 - baseline.macro_f1
+    print(f"\nMacro-F1 change from the 4 extra channels: {delta:+.3f}")
+    print("(Exact effect depends on corpus scale and seed; the point is "
+          "the pipeline picks up new channels with zero further code.)")
+
+
+if __name__ == "__main__":
+    main()

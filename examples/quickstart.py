@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: the full MAGIC pipeline in one minute.
+
+1. Parse an assembly listing and build its control flow graph
+   (Algorithms 1 and 2 of the paper).
+2. Extract the Table I attributed CFG.
+3. Train a small DGCNN-based MAGIC instance on a synthetic malware
+   corpus.
+4. Classify the listing.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cfg import build_cfg_from_text
+from repro.core import Magic, ModelConfig
+from repro.datasets import generate_mskcfg_dataset
+from repro.features import ACFG
+from repro.train import TrainingConfig
+
+LISTING = """
+.text:00401000 push ebp
+.text:00401001 mov ebp, esp
+.text:00401004 xor ecx, ecx
+loc_401006:
+.text:00401006 add ecx, 0x1
+.text:00401009 cmp ecx, 0x10
+.text:0040100C jl loc_401006
+.text:0040100E call sub_401020
+.text:00401013 retn
+.text:00401020 mov eax, 0x5
+.text:00401023 retn
+"""
+
+
+def main() -> None:
+    # -- 1. listing -> CFG ------------------------------------------------
+    cfg = build_cfg_from_text(LISTING, name="quickstart-sample")
+    print(f"CFG: {cfg.num_vertices} basic blocks, {cfg.num_edges} edges")
+    for block in cfg.blocks():
+        successors = [f"{s.start_address:#x}" for s in cfg.successors(block)]
+        print(
+            f"  block {block.start_address:#x}: {len(block)} instructions"
+            f" -> {successors or '(exit)'}"
+        )
+
+    # -- 2. CFG -> ACFG ----------------------------------------------------
+    acfg = ACFG.from_cfg(cfg)
+    print(f"\nACFG attribute matrix: {acfg.attributes.shape}"
+          f" (vertices x Table-I channels)")
+
+    # -- 3. train MAGIC on a small synthetic corpus ------------------------
+    print("\nGenerating a small synthetic MSKCFG-style corpus...")
+    dataset = generate_mskcfg_dataset(total=90, seed=0, minimum_per_family=6)
+    train, test = dataset.stratified_split(test_fraction=0.2, seed=0)
+
+    config = ModelConfig(
+        num_attributes=acfg.num_attributes,
+        num_classes=dataset.num_classes,
+        pooling="adaptive",            # the architecture Table II selects
+        graph_conv_sizes=(32, 32, 32, 32),
+        amp_grid=(3, 3),
+        conv2d_channels=16,
+        hidden_size=64,
+        dropout=0.1,
+        seed=0,
+    )
+    magic = Magic(config, dataset.family_names)
+    print(f"Training DGCNN ({magic.model.num_parameters()} parameters)...")
+    magic.fit(
+        train.acfgs,
+        test.acfgs,
+        TrainingConfig(epochs=10, batch_size=10, learning_rate=2e-3, seed=0),
+    )
+    report = magic.evaluate(test.acfgs)
+    print(f"Held-out accuracy after 10 epochs: {report.accuracy:.3f}")
+
+    # -- 4. classify the listing -------------------------------------------
+    family, probabilities = magic.classify_asm(LISTING)
+    print(f"\nPredicted family for the quickstart listing: {family}")
+    top3 = sorted(
+        zip(dataset.family_names, probabilities), key=lambda p: -p[1]
+    )[:3]
+    for name, probability in top3:
+        print(f"  {name:16s} {probability:.3f}")
+
+
+if __name__ == "__main__":
+    main()

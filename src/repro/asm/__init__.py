@@ -1,0 +1,30 @@
+"""Assembly substrate: instruction model, ISA taxonomy, parser, tagger.
+
+This package implements everything MAGIC needs *below* the control flow
+graph: a model of disassembled programs (:class:`Program`), an
+IDA-listing parser (:class:`AsmParser`), the Table I instruction
+taxonomy (:mod:`repro.asm.isa`), and the first pass of CFG construction
+(:class:`InstructionTagger`, Algorithm 1 of the paper).
+"""
+
+from repro.asm.instruction import Instruction
+from repro.asm.isa import (
+    ControlFlowKind,
+    InstructionCategory,
+    categorize,
+    control_flow_kind,
+)
+from repro.asm.parser import AsmParser
+from repro.asm.program import Program
+from repro.asm.visitor import InstructionTagger
+
+__all__ = [
+    "AsmParser",
+    "ControlFlowKind",
+    "Instruction",
+    "InstructionCategory",
+    "InstructionTagger",
+    "Program",
+    "categorize",
+    "control_flow_kind",
+]

@@ -1,0 +1,97 @@
+"""Instruction model.
+
+An :class:`Instruction` is one line of a disassembled program: an address,
+a mnemonic, and operands.  The CFG construction algorithm of the paper
+(Section IV-A) associates four tags with each instruction — ``start``,
+``branchTo``, ``fallThrough`` and ``return`` — which are filled in by the
+first (tagging) pass and consumed by the second (block-building) pass.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.asm.isa import (
+    ControlFlowKind,
+    InstructionCategory,
+    categorize,
+    control_flow_kind,
+)
+
+#: Matches immediate numeric operands: decimal, hex (0x1F or 1Fh), negative.
+_NUMERIC_CONSTANT_RE = re.compile(
+    r"(?<![\w.])"
+    r"(?:0x[0-9a-fA-F]+|[0-9a-fA-F]+h|\d+)"
+    r"(?![\w.])"
+)
+
+
+@dataclass
+class Instruction:
+    """A single assembly instruction plus the CFG-builder tags.
+
+    Parameters
+    ----------
+    address:
+        Virtual address of the instruction (unique within a program).
+    mnemonic:
+        Lower-cased operation mnemonic, e.g. ``"mov"`` or ``"jnz"``.
+    operands:
+        Raw operand strings, e.g. ``["eax", "[ebp+8]"]``.
+    size:
+        Encoded size in bytes; ``address + size`` is the fall-through
+        address used by Algorithm 1.
+    """
+
+    address: int
+    mnemonic: str
+    operands: List[str] = field(default_factory=list)
+    size: int = 1
+
+    # Tags written by the first (visitor) pass -- Section IV-A.
+    start: bool = False
+    branch_to: Optional[int] = None
+    fall_through: bool = False
+    is_return: bool = False
+
+    def __post_init__(self) -> None:
+        self.mnemonic = self.mnemonic.lower()
+
+    @property
+    def category(self) -> InstructionCategory:
+        """Table I attribute category of this instruction."""
+        return categorize(self.mnemonic)
+
+    @property
+    def flow_kind(self) -> ControlFlowKind:
+        """Control-flow behaviour used by the CFG builder."""
+        return control_flow_kind(self.mnemonic)
+
+    @property
+    def next_address(self) -> int:
+        """Address of the instruction that textually follows this one."""
+        return self.address + self.size
+
+    def count_numeric_constants(self) -> int:
+        """Number of immediate numeric constants among the operands.
+
+        Memory-operand base registers and the like do not count; only
+        literal decimal/hex tokens do.  This feeds the "# Numeric
+        Constants" attribute of Table I.
+        """
+        total = 0
+        for operand in self.operands:
+            total += len(_NUMERIC_CONSTANT_RE.findall(operand))
+        return total
+
+    def operand_text(self) -> str:
+        """The operands re-joined the way they appeared in the listing."""
+        return ", ".join(self.operands)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        text = f"{self.address:#010x}  {self.mnemonic}"
+        if self.operands:
+            text += " " + self.operand_text()
+        return text

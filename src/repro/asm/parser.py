@@ -1,0 +1,292 @@
+"""Parser for IDA Pro-style ``.asm`` listings.
+
+The Microsoft Malware Classification Challenge ships one ``.asm`` file per
+sample, produced by IDA Pro.  A representative line looks like::
+
+    .text:00401000 55 8B EC                 push    ebp ; set up frame
+
+i.e. ``<section>:<hex address> [hex bytes] <mnemonic> [operands] [; comment]``.
+This parser also accepts the two simpler shapes used by our synthetic
+corpus and by hand-written tests::
+
+    00401000: push ebp
+    0x401000  push ebp
+
+Label-only lines (``loc_401010:``) attach a symbolic name to the next
+instruction's address so jumps may refer to them by name.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.asm.instruction import Instruction
+from repro.asm.program import Program
+from repro.exceptions import AsmParseError
+
+#: ``.text:00401000`` or ``00401000:`` or ``0x401000`` at line start.
+_ADDRESS_RE = re.compile(
+    r"^\s*(?:(?P<section>[.\w]+):)?(?P<addr>0x[0-9a-fA-F]+|[0-9a-fA-F]{4,16})\s*:?\s+"
+)
+
+#: A run of hex byte pairs right after the address, e.g. ``55 8B EC``.
+_BYTES_RE = re.compile(r"^((?:[0-9a-fA-F]{2}\s+)+)")
+
+#: A label-only line: ``loc_401010:`` possibly preceded by a section.
+_LABEL_RE = re.compile(r"^\s*(?:[.\w]+:)?(?P<label>[A-Za-z_@?$][\w@?$]*):\s*(?:;.*)?$")
+
+#: A mnemonic token.
+_MNEMONIC_RE = re.compile(r"^(?P<mnemonic>[A-Za-z][\w.]*)\s*(?P<rest>.*)$")
+
+#: A label on an addressed line: ``.text:00401000 sub_401000:``.
+_ADDRESSED_LABEL_RE = re.compile(r"^(?P<label>[A-Za-z_@?$][\w@?$]*):\s*$")
+
+#: A named data item: ``aGreeting db 'hello',0``.
+_NAMED_DATA_RE = re.compile(
+    r"^(?P<label>[A-Za-z_@?$][\w@?$]*)\s+(?P<decl>db|dw|dd|dq|dt|unicode)\b\s*(?P<rest>.*)$",
+    re.IGNORECASE,
+)
+
+#: Symbolic jump targets that encode their address, e.g. ``loc_401010``.
+_SYMBOLIC_ADDR_RE = re.compile(r"^(?:loc|sub|locret|off|unk|byte|dword)_([0-9a-fA-F]+)$")
+
+#: Directive mnemonics that are not instructions and carry no address flow.
+_SKIPPED_DIRECTIVES = frozenset({
+    "proc", "endp", "segment", "ends", "assume", "public", "extrn",
+    "include", "model", "org", "end",
+})
+
+
+def _parse_address_token(token: str) -> int:
+    if token.lower().startswith("0x"):
+        return int(token, 16)
+    return int(token, 16)
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split an operand string on top-level commas.
+
+    Commas inside brackets (memory operands such as ``[eax+ebx*4]`` never
+    contain commas in x86, but some macro operands might) are preserved.
+    """
+    operands: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in rest:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            operand = "".join(current).strip()
+            if operand:
+                operands.append(operand)
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+class AsmParser:
+    """Parses assembly listing text into a :class:`Program`.
+
+    Parameters
+    ----------
+    strict:
+        When ``True``, unparseable non-empty lines raise
+        :class:`AsmParseError`.  When ``False`` (the default, matching how
+        MAGIC tolerates IDA's noisy output on packed samples) such lines
+        are skipped and counted in :attr:`skipped_lines`.
+    """
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self.skipped_lines = 0
+        self.labels: Dict[str, int] = {}
+
+    def parse(self, text: str) -> Program:
+        """Parse listing text into a :class:`Program`.
+
+        The returned program has normalized instruction sizes: each
+        instruction's ``size`` is the gap to the next address, so the
+        fall-through address ``inst.addr + inst.size`` always lands on the
+        textually-next instruction, as Algorithm 1 requires.
+        """
+        self.skipped_lines = 0
+        self.labels = {}
+        rows, pending_labels = self._parse_lines(text.splitlines())
+        return self._build_program(rows, pending_labels)
+
+    def parse_file(self, path: str) -> Program:
+        """Parse an ``.asm`` file from disk (UTF-8 with latin-1 fallback)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except UnicodeDecodeError:
+            with open(path, "r", encoding="latin-1") as handle:
+                text = handle.read()
+        return self.parse(text)
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _parse_lines(
+        self, lines: Iterable[str]
+    ) -> Tuple[List[Tuple[int, str, List[str], int]], List[str]]:
+        rows: List[Tuple[int, str, List[str], int]] = []
+        pending_labels: List[str] = []
+        for line_number, raw_line in enumerate(lines, start=1):
+            line = raw_line.split(";", 1)[0].rstrip()
+            if not line.strip():
+                continue
+
+            label_match = _LABEL_RE.match(line)
+            if label_match:
+                pending_labels.append(label_match.group("label"))
+                continue
+
+            parsed = self._parse_instruction_line(line, line_number)
+            if parsed is None:
+                continue
+            address, mnemonic, operands, size = parsed
+            for label in pending_labels:
+                self.labels[label] = address
+            pending_labels = []
+            rows.append((address, mnemonic, operands, size))
+        return rows, pending_labels
+
+    def _parse_instruction_line(
+        self, line: str, line_number: int
+    ) -> Optional[Tuple[int, str, List[str], int]]:
+        address_match = _ADDRESS_RE.match(line)
+        if not address_match:
+            return self._skip(line, line_number, "no address prefix")
+        try:
+            address = _parse_address_token(address_match.group("addr"))
+        except ValueError:
+            return self._skip(line, line_number, "bad address token")
+
+        body = line[address_match.end():]
+        size = 0
+        bytes_match = _BYTES_RE.match(body)
+        if bytes_match:
+            hex_bytes = bytes_match.group(1).split()
+            # Only treat it as encoded bytes when a mnemonic follows;
+            # otherwise the "bytes" are data and the line is data-only.
+            remainder = body[bytes_match.end():]
+            if _MNEMONIC_RE.match(remainder.strip()):
+                size = len(hex_bytes)
+                body = remainder
+
+        body = body.strip()
+
+        # Label on its own addressed line: record and skip.
+        addressed_label = _ADDRESSED_LABEL_RE.match(body)
+        if addressed_label:
+            self.labels[addressed_label.group("label")] = address
+            return None
+
+        # Named data item: the name is a label, the declaration is the
+        # instruction (Table I counts data declarations).
+        named_data = _NAMED_DATA_RE.match(body)
+        if named_data:
+            self.labels[named_data.group("label")] = address
+            return (
+                address,
+                named_data.group("decl").lower(),
+                _split_operands(named_data.group("rest")),
+                size,
+            )
+
+        mnemonic_match = _MNEMONIC_RE.match(body)
+        if not mnemonic_match:
+            return self._skip(line, line_number, "no mnemonic")
+        mnemonic = mnemonic_match.group("mnemonic").lower()
+        if mnemonic in _SKIPPED_DIRECTIVES:
+            return None
+        rest = mnemonic_match.group("rest")
+        # Trailing ``endp``/``proc`` markers: ``sub_401000 endp``.
+        if rest.strip().lower() in _SKIPPED_DIRECTIVES:
+            return None
+        operands = _split_operands(rest)
+        return address, mnemonic, operands, size
+
+    def _skip(self, line: str, line_number: int, reason: str) -> None:
+        if self.strict:
+            raise AsmParseError(f"{reason}: {line.strip()!r}", line_number)
+        self.skipped_lines += 1
+        return None
+
+    def _build_program(
+        self,
+        rows: List[Tuple[int, str, List[str], int]],
+        trailing_labels: List[str],
+    ) -> Program:
+        # De-duplicate addresses keeping the first occurrence, mirroring
+        # how IDA listings repeat addresses for multi-line data items.
+        seen: Dict[int, Tuple[int, str, List[str], int]] = {}
+        for row in rows:
+            seen.setdefault(row[0], row)
+        ordered = sorted(seen.values(), key=lambda row: row[0])
+
+        program = Program()
+        for index, (address, mnemonic, operands, size) in enumerate(ordered):
+            if index + 1 < len(ordered):
+                gap = ordered[index + 1][0] - address
+                size = gap
+            elif size <= 0:
+                size = 1
+            program.add(
+                Instruction(
+                    address=address,
+                    mnemonic=mnemonic,
+                    operands=operands,
+                    size=size,
+                )
+            )
+        for label in trailing_labels:
+            # A label at end-of-file points one past the last instruction.
+            last = program.first()
+            if last is not None:
+                self.labels.setdefault(label, max(program.addresses) + 1)
+        return program
+
+    def resolve_target(self, operand: str) -> Optional[int]:
+        """Resolve a jump/call operand to a destination address.
+
+        Handles symbolic ``loc_``/``sub_`` names, labels collected during
+        parsing, and literal hex/decimal addresses.  Register-indirect and
+        memory targets resolve to ``None`` (statically unknown), which the
+        CFG builder treats as "no edge", the same policy the paper's
+        implementation applies.
+        """
+        token = operand.strip()
+        # Strip IDA operand decorations, possibly stacked ("dword ptr ...",
+        # "offset loc_401000", "near ptr sub_401020").
+        stripped = True
+        while stripped:
+            stripped = False
+            for prefix in ("short", "near", "far", "ptr", "offset",
+                           "dword", "word", "byte", "qword"):
+                if token.lower().startswith(prefix + " "):
+                    token = token[len(prefix) + 1:].strip()
+                    stripped = True
+        if token in self.labels:
+            return self.labels[token]
+        symbolic = _SYMBOLIC_ADDR_RE.match(token)
+        if symbolic:
+            return int(symbolic.group(1), 16)
+        if token.lower().startswith("0x"):
+            try:
+                return int(token, 16)
+            except ValueError:
+                return None
+        if re.fullmatch(r"[0-9a-fA-F]+h", token):
+            return int(token[:-1], 16)
+        if re.fullmatch(r"[0-9a-fA-F]{4,16}", token):
+            return int(token, 16)
+        return None

@@ -1,0 +1,119 @@
+"""Program: a one-to-one mapping from sorted addresses to instructions.
+
+Section IV-A of the paper: "we first pre-process the input files so that
+the resulting program ``P`` is a one-to-one mapping from sorted addresses
+to assembly instructions, e.g. ``P : Z+ -> I``".  This module provides
+that structure plus the iteration helpers (``getNextInst``) that
+Algorithm 2 assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.asm.instruction import Instruction
+from repro.exceptions import AsmParseError
+
+
+class Program:
+    """An ordered, address-indexed sequence of instructions.
+
+    The class maintains the invariant that instruction addresses are
+    unique and iteration is in ascending address order, which is what the
+    two-pass CFG construction relies on.
+    """
+
+    def __init__(self, instructions: Iterable[Instruction] = ()) -> None:
+        self._by_address: Dict[int, Instruction] = {}
+        self._sorted_addresses: List[int] = []
+        self._sorted_dirty = False
+        for instruction in instructions:
+            self.add(instruction)
+
+    def add(self, instruction: Instruction) -> None:
+        """Insert an instruction; addresses must be unique."""
+        if instruction.address in self._by_address:
+            raise AsmParseError(
+                f"duplicate instruction address {instruction.address:#x}"
+            )
+        self._by_address[instruction.address] = instruction
+        self._sorted_addresses.append(instruction.address)
+        self._sorted_dirty = True
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted_dirty:
+            self._sorted_addresses.sort()
+            self._sorted_dirty = False
+
+    def __len__(self) -> int:
+        return len(self._by_address)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._by_address
+
+    def __getitem__(self, address: int) -> Instruction:
+        try:
+            return self._by_address[address]
+        except KeyError:
+            raise KeyError(f"no instruction at address {address:#x}") from None
+
+    def get(self, address: int) -> Optional[Instruction]:
+        """The instruction at ``address``, or ``None``."""
+        return self._by_address.get(address)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        self._ensure_sorted()
+        for address in self._sorted_addresses:
+            yield self._by_address[address]
+
+    @property
+    def addresses(self) -> List[int]:
+        """All instruction addresses in ascending order."""
+        self._ensure_sorted()
+        return list(self._sorted_addresses)
+
+    def first(self) -> Optional[Instruction]:
+        """The instruction with the lowest address, or ``None`` if empty."""
+        self._ensure_sorted()
+        if not self._sorted_addresses:
+            return None
+        return self._by_address[self._sorted_addresses[0]]
+
+    def next_instruction(self, instruction: Instruction) -> Optional[Instruction]:
+        """``getNextInst(P, inst)`` from Algorithm 2.
+
+        Returns the instruction that textually follows ``instruction``
+        (the one at the next higher address), or ``None`` when
+        ``instruction`` is the last one.
+        """
+        self._ensure_sorted()
+        # Fast path: contiguous encodings mean next_address is usually it.
+        fast = self._by_address.get(instruction.next_address)
+        if fast is not None:
+            return fast
+        # Slow path: binary search for the next higher address (listings
+        # may contain gaps between sections).
+        import bisect
+
+        index = bisect.bisect_right(self._sorted_addresses, instruction.address)
+        if index >= len(self._sorted_addresses):
+            return None
+        return self._by_address[self._sorted_addresses[index]]
+
+    def nearest_at_or_after(self, address: int) -> Optional[Instruction]:
+        """The instruction at ``address``, or the first one after it.
+
+        Jump targets occasionally land between instructions in noisy
+        disassembly; resolving them to the next real instruction mirrors
+        what IDA-style tools do.
+        """
+        exact = self._by_address.get(address)
+        if exact is not None:
+            return exact
+        import bisect
+
+        self._ensure_sorted()
+        index = bisect.bisect_left(self._sorted_addresses, address)
+        if index >= len(self._sorted_addresses):
+            return None
+        return self._by_address[self._sorted_addresses[index]]

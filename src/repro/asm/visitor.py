@@ -1,0 +1,126 @@
+"""First pass of CFG construction: visitor-pattern instruction tagging.
+
+Section IV-A: "To adapt to (potentially) hundreds of types of
+instructions, the first pass applies the visitor pattern to implement
+if-else free instruction tagging."  Each control-flow class gets its own
+``visit_*`` method; Algorithm 1 of the paper is :meth:`visit_conditional_jump`.
+
+The tags written here (``start``, ``branch_to``, ``fall_through``,
+``is_return``) are consumed by :class:`repro.cfg.builder.CfgBuilder`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.asm.instruction import Instruction
+from repro.asm.isa import ControlFlowKind
+from repro.asm.program import Program
+
+
+class InstructionTagger:
+    """Tags every instruction in a program for block construction.
+
+    Parameters
+    ----------
+    resolve_target:
+        Callable mapping a branch operand string to a destination address
+        (or ``None`` when statically unknown).  Typically
+        :meth:`repro.asm.parser.AsmParser.resolve_target`.
+    follow_calls:
+        When ``True``, ``call`` instructions contribute a branch edge to
+        the callee (intra-procedural *and* inter-procedural CFG, which is
+        what MAGIC builds over whole ``.asm`` files).  When ``False``,
+        calls are treated as sequential instructions.
+    """
+
+    def __init__(
+        self,
+        resolve_target: Callable[[str], Optional[int]],
+        follow_calls: bool = True,
+    ) -> None:
+        self._resolve_target = resolve_target
+        self.follow_calls = follow_calls
+        self._dispatch: Dict[ControlFlowKind, Callable[[Program, Instruction], None]] = {
+            ControlFlowKind.SEQUENTIAL: self.visit_sequential,
+            ControlFlowKind.CONDITIONAL_JUMP: self.visit_conditional_jump,
+            ControlFlowKind.UNCONDITIONAL_JUMP: self.visit_unconditional_jump,
+            ControlFlowKind.CALL: self.visit_call,
+            ControlFlowKind.RETURN: self.visit_return,
+            ControlFlowKind.TERMINATE: self.visit_terminate,
+        }
+
+    def tag(self, program: Program) -> Program:
+        """Run the tagging pass over ``program`` in place and return it."""
+        first = program.first()
+        if first is not None:
+            first.start = True
+        for instruction in program:
+            self._dispatch[instruction.flow_kind](program, instruction)
+        return program
+
+    # ------------------------------------------------------------------
+    # visit methods, one per control-flow class (if-else free dispatch)
+
+    def visit_sequential(self, program: Program, inst: Instruction) -> None:
+        """Ordinary instructions simply fall through."""
+        inst.fall_through = True
+
+    def visit_conditional_jump(self, program: Program, inst: Instruction) -> None:
+        """Algorithm 1 of the paper: ``visitConditionalJump(cj)``.
+
+        A conditional jump branches to its target (lines 2-3) *and* falls
+        through to the next instruction (lines 4-5).
+        """
+        dst_addr = self._find_dst_addr(inst)
+        if dst_addr is not None:
+            inst.branch_to = dst_addr
+            self._mark_start(program, dst_addr)
+        inst.fall_through = True
+        self._mark_start(program, inst.next_address)
+
+    def visit_unconditional_jump(self, program: Program, inst: Instruction) -> None:
+        """``jmp`` branches to its target and never falls through."""
+        dst_addr = self._find_dst_addr(inst)
+        if dst_addr is not None:
+            inst.branch_to = dst_addr
+            self._mark_start(program, dst_addr)
+        inst.fall_through = False
+        # The instruction after a jmp starts a new block (it can only be
+        # reached via some other branch).
+        self._mark_start(program, inst.next_address)
+
+    def visit_call(self, program: Program, inst: Instruction) -> None:
+        """``call`` transfers to the callee and then resumes after itself."""
+        if self.follow_calls:
+            dst_addr = self._find_dst_addr(inst)
+            if dst_addr is not None:
+                inst.branch_to = dst_addr
+                self._mark_start(program, dst_addr)
+        inst.fall_through = True
+        self._mark_start(program, inst.next_address)
+
+    def visit_return(self, program: Program, inst: Instruction) -> None:
+        """``ret`` ends the block with no static successor."""
+        inst.is_return = True
+        inst.fall_through = False
+        self._mark_start(program, inst.next_address)
+
+    def visit_terminate(self, program: Program, inst: Instruction) -> None:
+        """``hlt``/``int3``-style terminators end the block."""
+        inst.fall_through = False
+        self._mark_start(program, inst.next_address)
+
+    # ------------------------------------------------------------------
+
+    def _find_dst_addr(self, inst: Instruction) -> Optional[int]:
+        """``findDstAddr(inst)`` helper from Algorithm 1."""
+        if not inst.operands:
+            return None
+        return self._resolve_target(inst.operands[0])
+
+    @staticmethod
+    def _mark_start(program: Program, address: int) -> None:
+        target = program.get(address)
+        if target is not None:
+            target.start = True

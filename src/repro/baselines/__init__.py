@@ -1,0 +1,43 @@
+"""Comparator classifiers for Table IV and Figure 11.
+
+Each class reproduces the *method family* of one comparison row; all are
+implemented from scratch (no sklearn/xgboost offline) and consume the
+handcrafted aggregate features of
+:mod:`repro.baselines.feature_vectors` (or raw ACFGs, for Strand).
+"""
+
+from repro.baselines.autoencoder import AutoencoderGbtClassifier, DenseAutoencoder
+from repro.baselines.decision_tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+)
+from repro.baselines.esvc import EsvcClassifier
+from repro.baselines.feature_vectors import (
+    acfg_feature_names,
+    acfg_to_feature_vector,
+    dataset_to_matrix,
+    standardize,
+)
+from repro.baselines.gradient_boosting import GradientBoostingClassifier
+from repro.baselines.random_forest import RandomForestClassifier
+from repro.baselines.strand import StrandClassifier, sequence_ngrams, tokenize_acfg
+from repro.baselines.svm import LinearSVM, OneVsRestSVM
+
+__all__ = [
+    "AutoencoderGbtClassifier",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "DenseAutoencoder",
+    "EsvcClassifier",
+    "GradientBoostingClassifier",
+    "LinearSVM",
+    "OneVsRestSVM",
+    "RandomForestClassifier",
+    "StrandClassifier",
+    "acfg_feature_names",
+    "acfg_to_feature_vector",
+    "dataset_to_matrix",
+    "sequence_ngrams",
+    "standardize",
+    "tokenize_acfg",
+]

@@ -1,0 +1,110 @@
+"""Autoencoder feature learning + gradient boosting (Table IV row [9]).
+
+Yousefi-Azar et al. learn features with a deep autoencoder and classify
+with a gradient-boosted model.  We reproduce the pipeline with our own
+NN engine: a symmetric dense autoencoder compresses the handcrafted
+aggregate vectors, and :class:`GradientBoostingClassifier` is trained on
+the bottleneck codes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.gradient_boosting import GradientBoostingClassifier
+from repro.exceptions import TrainingError
+from repro.nn.layers import Linear, Module, Sequential, Tanh
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+class DenseAutoencoder(Module):
+    """Symmetric tanh autoencoder with a low-dimensional bottleneck."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_sizes: Sequence[int] = (32, 16),
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not hidden_sizes:
+            raise TrainingError("autoencoder needs at least one hidden layer")
+        rng = np.random.default_rng(seed)
+        sizes = [input_size, *hidden_sizes]
+        encoder_layers: List[Module] = []
+        for a, b in zip(sizes, sizes[1:]):
+            encoder_layers.extend([Linear(a, b, rng=rng), Tanh()])
+        decoder_layers: List[Module] = []
+        reversed_sizes = list(reversed(sizes))
+        for index, (a, b) in enumerate(zip(reversed_sizes, reversed_sizes[1:])):
+            decoder_layers.append(Linear(a, b, rng=rng))
+            if index < len(reversed_sizes) - 2:
+                decoder_layers.append(Tanh())
+        self.encoder = Sequential(*encoder_layers)
+        self.decoder = Sequential(*decoder_layers)
+        self.code_size = sizes[-1]
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.decoder(self.encoder(x))
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        self.eval()
+        return self.encoder(Tensor(features)).data
+
+
+class AutoencoderGbtClassifier:
+    """Unsupervised encoding followed by supervised boosting."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        hidden_sizes: Sequence[int] = (32, 16),
+        ae_epochs: int = 80,
+        ae_learning_rate: float = 1e-2,
+        gbt_rounds: int = 40,
+        seed: int = 0,
+    ) -> None:
+        self.num_classes = num_classes
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.ae_epochs = ae_epochs
+        self.ae_learning_rate = ae_learning_rate
+        self.gbt_rounds = gbt_rounds
+        self.seed = seed
+        self._autoencoder: Optional[DenseAutoencoder] = None
+        self._booster: Optional[GradientBoostingClassifier] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "AutoencoderGbtClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        self._autoencoder = DenseAutoencoder(
+            features.shape[1], self.hidden_sizes, seed=self.seed
+        )
+        optimizer = Adam(self._autoencoder.parameters(), lr=self.ae_learning_rate)
+        self._autoencoder.train(True)
+        x = Tensor(features)
+        for _ in range(self.ae_epochs):
+            optimizer.zero_grad()
+            reconstruction = self._autoencoder(x)
+            loss = ((reconstruction - x) ** 2).mean()
+            loss.backward()
+            optimizer.step()
+
+        codes = self._autoencoder.encode(features)
+        self._booster = GradientBoostingClassifier(
+            num_classes=self.num_classes,
+            n_rounds=self.gbt_rounds,
+            seed=self.seed,
+        )
+        self._booster.fit(codes, labels)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._autoencoder is None or self._booster is None:
+            raise TrainingError("classifier used before fit()")
+        codes = self._autoencoder.encode(np.asarray(features, dtype=np.float64))
+        return self._booster.predict_proba(codes)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)

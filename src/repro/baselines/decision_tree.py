@@ -1,0 +1,211 @@
+"""CART decision trees: classification (gini) and regression (MSE).
+
+The regression tree is the weak learner of the gradient-boosting
+comparator (Table IV's "XGBoost" class of methods); the classification
+tree is the unit of the random-forest comparators.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+
+@dataclasses.dataclass
+class _Node:
+    """A tree node; leaves carry ``value``, internal nodes a split."""
+
+    value: Optional[np.ndarray] = None
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.value is not None
+
+
+class _TreeBase:
+    """Shared recursive splitter for both tree flavours."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        min_samples_split: int = 2,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise TrainingError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._root: Optional[_Node] = None
+        self.num_features_: int = 0
+
+    # subclass hooks ----------------------------------------------------
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _impurity_gain(
+        self, y_sorted: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-split-position left/right impurity*count arrays."""
+        raise NotImplementedError
+
+    # fitting -----------------------------------------------------------
+
+    def fit(self, features: np.ndarray, y: np.ndarray) -> "_TreeBase":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise TrainingError(f"features must be 2-D, got {features.shape}")
+        if len(features) != len(y):
+            raise TrainingError(
+                f"{len(features)} rows vs {len(y)} labels"
+            )
+        if len(features) == 0:
+            raise TrainingError("cannot fit a tree on zero samples")
+        self.num_features_ = features.shape[1]
+        self._root = self._grow(features, np.asarray(y), depth=0)
+        return self
+
+    def _grow(self, features: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        n = len(y)
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or self._is_pure(y)
+        ):
+            return _Node(value=self._leaf_value(y))
+
+        split = self._best_split(features, y)
+        if split is None:
+            return _Node(value=self._leaf_value(y))
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        left = self._grow(features[mask], y[mask], depth + 1)
+        right = self._grow(features[~mask], y[~mask], depth + 1)
+        return _Node(feature=feature, threshold=threshold, left=left, right=right)
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        if y.ndim == 1:
+            return bool((y == y[0]).all())
+        return bool(np.allclose(y, y[0]))
+
+    def _candidate_features(self) -> np.ndarray:
+        if self.max_features is None or self.max_features >= self.num_features_:
+            return np.arange(self.num_features_)
+        return self._rng.choice(
+            self.num_features_, size=self.max_features, replace=False
+        )
+
+    def _best_split(
+        self, features: np.ndarray, y: np.ndarray
+    ) -> Optional[Tuple[int, float]]:
+        n = len(y)
+        best_score = np.inf
+        best: Optional[Tuple[int, float]] = None
+        for feature in self._candidate_features():
+            column = features[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_column = column[order]
+            y_sorted = y[order]
+            left_cost, right_cost = self._impurity_gain(y_sorted)
+            # Valid split positions: between i and i+1 where the feature
+            # value actually changes and both sides satisfy the leaf min.
+            positions = np.arange(1, n)
+            valid = sorted_column[1:] > sorted_column[:-1]
+            valid &= positions >= self.min_samples_leaf
+            valid &= (n - positions) >= self.min_samples_leaf
+            if not valid.any():
+                continue
+            scores = left_cost + right_cost
+            scores = np.where(valid, scores, np.inf)
+            index = int(scores.argmin())
+            if scores[index] < best_score:
+                best_score = scores[index]
+                threshold = 0.5 * (sorted_column[index] + sorted_column[index + 1])
+                best = (int(feature), float(threshold))
+        return best
+
+    # prediction ----------------------------------------------------------
+
+    def _predict_row(self, row: np.ndarray) -> np.ndarray:
+        node = self._root
+        if node is None:
+            raise TrainingError("tree used before fit()")
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+
+class DecisionTreeClassifier(_TreeBase):
+    """Gini-impurity CART classifier; leaves hold class distributions."""
+
+    def __init__(self, num_classes: int, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if num_classes < 2:
+            raise TrainingError(f"num_classes must be >= 2, got {num_classes}")
+        self.num_classes = num_classes
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y.astype(np.int64), minlength=self.num_classes)
+        return counts / counts.sum()
+
+    def _impurity_gain(self, y_sorted: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        n = len(y_sorted)
+        onehot = np.zeros((n, self.num_classes))
+        onehot[np.arange(n), y_sorted.astype(np.int64)] = 1.0
+        left_counts = np.cumsum(onehot, axis=0)[:-1]         # counts left of split
+        total = left_counts[-1] + onehot[-1]
+        right_counts = total[None, :] - left_counts
+        left_n = np.arange(1, n)[:, None].astype(np.float64)
+        right_n = (n - np.arange(1, n))[:, None].astype(np.float64)
+        # weighted gini: n_side * (1 - sum p^2) = n_side - sum counts^2 / n_side
+        left_cost = left_n[:, 0] - (left_counts ** 2).sum(axis=1) / left_n[:, 0]
+        right_cost = right_n[:, 0] - (right_counts ** 2).sum(axis=1) / right_n[:, 0]
+        return left_cost, right_cost
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        return np.stack([self._predict_row(row) for row in features])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+
+class DecisionTreeRegressor(_TreeBase):
+    """MSE CART regressor; leaves hold means.  Supports vector targets."""
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        return np.atleast_1d(y.mean(axis=0))
+
+    def _impurity_gain(self, y_sorted: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        y2d = y_sorted if y_sorted.ndim == 2 else y_sorted[:, None]
+        n = len(y2d)
+        prefix_sum = np.cumsum(y2d, axis=0)[:-1]
+        prefix_sq = np.cumsum(y2d ** 2, axis=0)[:-1]
+        total_sum = prefix_sum[-1] + y2d[-1]
+        total_sq = prefix_sq[-1] + y2d[-1] ** 2
+        left_n = np.arange(1, n)[:, None].astype(np.float64)
+        right_n = n - left_n
+        # SSE = sum(y^2) - (sum y)^2 / n, summed over target dims
+        left_cost = (prefix_sq - prefix_sum ** 2 / left_n).sum(axis=1)
+        right_sum = total_sum[None, :] - prefix_sum
+        right_sq = total_sq[None, :] - prefix_sq
+        right_cost = (right_sq - right_sum ** 2 / right_n).sum(axis=1)
+        return left_cost, right_cost
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        values = np.stack([self._predict_row(row) for row in features])
+        return values[:, 0] if values.shape[1] == 1 else values

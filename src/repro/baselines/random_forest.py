@@ -1,0 +1,81 @@
+"""Random forest classifier.
+
+Comparator class for Table IV rows [11] ("Ensemble Multiple Random
+Forest Classifiers") and [14] ("Random Forest with Feature Engineering"):
+bagged gini CART trees with per-node feature subsampling, probabilities
+averaged across trees.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.decision_tree import DecisionTreeClassifier
+from repro.exceptions import TrainingError
+
+
+class RandomForestClassifier:
+    """Bagging ensemble of decision trees."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        n_estimators: int = 50,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features: Optional[str] = "sqrt",
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise TrainingError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.num_classes = num_classes
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: List[DecisionTreeClassifier] = []
+
+    def _resolve_max_features(self, num_features: int) -> Optional[int]:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(math.sqrt(num_features)))
+        if self.max_features == "log2":
+            return max(1, int(math.log2(num_features)))
+        raise TrainingError(f"unknown max_features rule {self.max_features!r}")
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForestClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        n = len(features)
+        if n == 0:
+            raise TrainingError("cannot fit a forest on zero samples")
+        max_features = self._resolve_max_features(features.shape[1])
+        self._trees = []
+        root_rng = np.random.default_rng(self.seed)
+        for _ in range(self.n_estimators):
+            tree_rng = np.random.default_rng(root_rng.integers(0, 2 ** 63))
+            bootstrap = tree_rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                num_classes=self.num_classes,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=tree_rng,
+            )
+            tree.fit(features[bootstrap], labels[bootstrap])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise TrainingError("forest used before fit()")
+        stacked = np.stack([tree.predict_proba(features) for tree in self._trees])
+        return stacked.mean(axis=0)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)

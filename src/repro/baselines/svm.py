@@ -1,0 +1,127 @@
+"""Linear support vector machines trained by SGD on the hinge loss.
+
+The building block of the ESVC comparator (Figure 11 / [8]).  A binary
+:class:`LinearSVM` optimizes the L2-regularized hinge loss with
+mini-batch SGD; :class:`OneVsRestSVM` composes one per class and converts
+margins to probabilities with a softmax over scores.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+
+class LinearSVM:
+    """Binary linear SVM: ``min λ/2 ||w||² + mean(hinge(y (wx + b)))``.
+
+    Labels are ±1.  Training uses decaying-step SGD (Pegasos-style).
+    """
+
+    def __init__(
+        self,
+        regularization: float = 1e-3,
+        epochs: int = 60,
+        batch_size: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if regularization <= 0:
+            raise TrainingError(
+                f"regularization must be positive, got {regularization}"
+            )
+        self.regularization = regularization
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+
+    def fit(self, features: np.ndarray, labels_pm1: np.ndarray) -> "LinearSVM":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels_pm1, dtype=np.float64)
+        if set(np.unique(labels)) - {-1.0, 1.0}:
+            raise TrainingError("LinearSVM labels must be in {-1, +1}")
+        n, d = features.shape
+        rng = np.random.default_rng(self.seed)
+        weights = np.zeros(d)
+        bias = 0.0
+        step_count = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                step_count += 1
+                lr = 1.0 / (self.regularization * step_count)
+                batch = order[start : start + self.batch_size]
+                x, y = features[batch], labels[batch]
+                margins = y * (x @ weights + bias)
+                active = margins < 1.0
+                grad_w = self.regularization * weights
+                grad_b = 0.0
+                if active.any():
+                    grad_w = grad_w - (y[active, None] * x[active]).mean(axis=0)
+                    grad_b = -y[active].mean()
+                weights = weights - lr * grad_w
+                bias = bias - lr * grad_b
+        self.weights = weights
+        self.bias = bias
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise TrainingError("SVM used before fit()")
+        return np.asarray(features, dtype=np.float64) @ self.weights + self.bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.where(self.decision_function(features) >= 0.0, 1, -1)
+
+
+class OneVsRestSVM:
+    """Multiclass SVM: one binary SVM per class, softmax over margins."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        regularization: float = 1e-3,
+        epochs: int = 60,
+        seed: int = 0,
+    ) -> None:
+        if num_classes < 2:
+            raise TrainingError(f"num_classes must be >= 2, got {num_classes}")
+        self.num_classes = num_classes
+        self.regularization = regularization
+        self.epochs = epochs
+        self.seed = seed
+        self._machines: List[LinearSVM] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "OneVsRestSVM":
+        labels = np.asarray(labels, dtype=np.int64)
+        self._machines = []
+        for class_index in range(self.num_classes):
+            machine = LinearSVM(
+                regularization=self.regularization,
+                epochs=self.epochs,
+                seed=self.seed + class_index,
+            )
+            machine.fit(features, np.where(labels == class_index, 1.0, -1.0))
+            self._machines.append(machine)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if not self._machines:
+            raise TrainingError("SVM used before fit()")
+        return np.stack(
+            [machine.decision_function(features) for machine in self._machines],
+            axis=1,
+        )
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(features)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.decision_function(features).argmax(axis=1)

@@ -1,0 +1,27 @@
+"""Function call-graph substrate.
+
+Recovers function boundaries and the call graph from flat listings, the
+structure behind Table IV's function-call-graph comparator [11] and the
+related-work line of CFG/FCG-based malware classification.
+"""
+
+from repro.callgraph.callgraph import CallGraph
+from repro.callgraph.classifier import CallGraphForestEnsemble
+from repro.callgraph.extraction import call_graph_from_text, extract_call_graph
+from repro.callgraph.features import (
+    call_graph_feature_size,
+    call_graph_to_vector,
+    function_descriptor,
+)
+from repro.callgraph.function import Function
+
+__all__ = [
+    "CallGraph",
+    "CallGraphForestEnsemble",
+    "Function",
+    "call_graph_feature_size",
+    "call_graph_from_text",
+    "call_graph_to_vector",
+    "extract_call_graph",
+    "function_descriptor",
+]

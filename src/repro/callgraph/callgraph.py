@@ -1,0 +1,102 @@
+"""Function call graph: directed graph of functions linked by calls.
+
+The comparator [11] of Table IV (Hassen & Chan, CODASPY'17) classifies
+malware from *function call graphs* rather than basic-block CFGs.  This
+module provides that substrate over our own disassembly stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.callgraph.function import Function
+from repro.exceptions import CfgConstructionError
+
+
+class CallGraph:
+    """Directed graph of :class:`Function` nodes."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._functions: Dict[int, Function] = {}
+        self._edges: Dict[int, Set[int]] = {}
+
+    def add_function(self, function: Function) -> Function:
+        if function.entry_address in self._functions:
+            raise CfgConstructionError(
+                f"duplicate function at {function.entry_address:#x}"
+            )
+        self._functions[function.entry_address] = function
+        self._edges.setdefault(function.entry_address, set())
+        return function
+
+    def add_call(self, caller_entry: int, callee_entry: int) -> None:
+        """Add the edge ``caller -> callee``; both must exist."""
+        if caller_entry not in self._functions:
+            raise CfgConstructionError(f"unknown caller {caller_entry:#x}")
+        if callee_entry not in self._functions:
+            raise CfgConstructionError(f"unknown callee {callee_entry:#x}")
+        self._edges[caller_entry].add(callee_entry)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_functions(self) -> int:
+        return len(self._functions)
+
+    @property
+    def num_calls(self) -> int:
+        return sum(len(callees) for callees in self._edges.values())
+
+    def __len__(self) -> int:
+        return self.num_functions
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions())
+
+    def functions(self) -> List[Function]:
+        return [self._functions[a] for a in sorted(self._functions)]
+
+    def get_function(self, entry_address: int) -> Optional[Function]:
+        return self._functions.get(entry_address)
+
+    def callees(self, function: Function) -> List[Function]:
+        return [
+            self._functions[a]
+            for a in sorted(self._edges.get(function.entry_address, ()))
+        ]
+
+    def edges(self) -> List[Tuple[int, int]]:
+        result = []
+        for caller in sorted(self._edges):
+            for callee in sorted(self._edges[caller]):
+                result.append((caller, callee))
+        return result
+
+    def out_degree(self, function: Function) -> int:
+        return len(self._edges.get(function.entry_address, ()))
+
+    def in_degree(self, function: Function) -> int:
+        entry = function.entry_address
+        return sum(1 for callees in self._edges.values() if entry in callees)
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` keyed by entry address."""
+        import networkx as nx
+
+        graph = nx.DiGraph(name=self.name)
+        for function in self.functions():
+            graph.add_node(
+                function.entry_address,
+                name=function.name,
+                num_instructions=function.num_instructions,
+                num_blocks=function.num_blocks,
+            )
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"CallGraph(name={self.name!r}, functions={self.num_functions}, "
+            f"calls={self.num_calls})"
+        )

@@ -1,0 +1,102 @@
+"""Call-graph feature vectors (the Table IV row [11] method family).
+
+Hassen & Chan classify malware by (1) extracting per-function features,
+(2) *feature-hashing* them into a fixed-size vector so programs with
+different function counts become comparable, and (3) training forest
+ensembles on the hashed vectors.  We reproduce that pipeline:
+
+* per-function descriptor: local-CFG shape + instruction-mix counts,
+* minhash-free feature hashing: each function's quantized descriptor is
+  hashed into one of ``num_buckets`` bins (signed hashing kernel),
+* global channels: function/call counts and degree statistics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+import numpy as np
+
+from repro.asm.isa import InstructionCategory
+from repro.callgraph.callgraph import CallGraph
+from repro.callgraph.function import Function
+
+#: Instruction categories counted in the per-function descriptor.
+_CATEGORIES = (
+    InstructionCategory.TRANSFER,
+    InstructionCategory.CALL,
+    InstructionCategory.ARITHMETIC,
+    InstructionCategory.COMPARE,
+    InstructionCategory.MOV,
+    InstructionCategory.TERMINATION,
+)
+
+
+def function_descriptor(function: Function, graph: CallGraph) -> np.ndarray:
+    """Per-function numeric descriptor (shape ``(10,)``)."""
+    category_counts = {category: 0 for category in _CATEGORIES}
+    for inst in function.instructions:
+        if inst.category in category_counts:
+            category_counts[inst.category] += 1
+    return np.array(
+        [
+            float(function.num_instructions),
+            float(function.num_blocks),
+            float(function.num_local_edges),
+            float(graph.out_degree(function)),
+            *(float(category_counts[c]) for c in _CATEGORIES),
+        ]
+    )
+
+
+def _hash_bucket(descriptor: np.ndarray, num_buckets: int) -> int:
+    """Stable bucket for a quantized descriptor (log-scale bins)."""
+    quantized = np.floor(np.log2(descriptor + 1.0)).astype(np.int64)
+    digest = hashlib.blake2b(
+        quantized.tobytes(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") % num_buckets
+
+
+def call_graph_to_vector(graph: CallGraph, num_buckets: int = 32) -> np.ndarray:
+    """Fixed-size vector for one call graph.
+
+    Layout: ``num_buckets`` hashed-function-histogram channels followed
+    by 8 global structure channels.
+    """
+    histogram = np.zeros(num_buckets)
+    descriptors: List[np.ndarray] = []
+    for function in graph.functions():
+        descriptor = function_descriptor(function, graph)
+        descriptors.append(descriptor)
+        histogram[_hash_bucket(descriptor, num_buckets)] += 1.0
+
+    out_degrees = np.array(
+        [graph.out_degree(f) for f in graph.functions()], dtype=np.float64
+    )
+    if out_degrees.size == 0:
+        out_degrees = np.zeros(1)
+    sizes = np.array(
+        [f.num_instructions for f in graph.functions()], dtype=np.float64
+    )
+    if sizes.size == 0:
+        sizes = np.zeros(1)
+    global_channels = np.array(
+        [
+            float(graph.num_functions),
+            float(graph.num_calls),
+            float(out_degrees.mean()),
+            float(out_degrees.max()),
+            float(sizes.mean()),
+            float(sizes.max()),
+            float(np.log1p(graph.num_functions)),
+            float(np.log1p(sizes.sum())),
+        ]
+    )
+    return np.concatenate([histogram, global_channels])
+
+
+def call_graph_feature_size(num_buckets: int = 32) -> int:
+    """Length of :func:`call_graph_to_vector` output."""
+    return num_buckets + 8

@@ -1,0 +1,51 @@
+"""Function model for call-graph extraction.
+
+A *function* here is a contiguous span of a disassembled program rooted
+at an entry address (the program start, or any statically resolved call
+target), carrying its own local control flow graph.  This mirrors how
+IDA partitions a flat listing when symbol tables are stripped — exactly
+the situation for both of the paper's corpora.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.asm.instruction import Instruction
+from repro.cfg.graph import ControlFlowGraph
+
+
+@dataclasses.dataclass
+class Function:
+    """One function: entry, instruction span, local CFG, and callees."""
+
+    entry_address: int
+    name: str
+    instructions: List[Instruction]
+    local_cfg: Optional[ControlFlowGraph] = None
+    callees: List[int] = dataclasses.field(default_factory=list)
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def end_address(self) -> int:
+        if not self.instructions:
+            return self.entry_address
+        return self.instructions[-1].next_address
+
+    @property
+    def num_blocks(self) -> int:
+        return self.local_cfg.num_vertices if self.local_cfg else 0
+
+    @property
+    def num_local_edges(self) -> int:
+        return self.local_cfg.num_edges if self.local_cfg else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Function({self.name}, {self.num_instructions} insts, "
+            f"{self.num_blocks} blocks, {len(self.callees)} callees)"
+        )

@@ -1,0 +1,36 @@
+"""Control flow graph substrate.
+
+Implements the two-pass CFG construction of Section IV-A (Algorithms 1
+and 2) and the graph data structure (Section II-A), plus serialization
+for caching and for YANCFG-style pre-extracted graphs.
+"""
+
+from repro.cfg.basic_block import BasicBlock
+from repro.cfg.builder import CfgBuilder, build_cfg_from_file, build_cfg_from_text
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.metrics import CfgMetrics, compute_cfg_metrics, to_dot
+from repro.cfg.serialization import (
+    acfg_from_text,
+    acfg_to_text,
+    cfg_from_dict,
+    cfg_to_dict,
+    load_cfg,
+    save_cfg,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CfgBuilder",
+    "CfgMetrics",
+    "compute_cfg_metrics",
+    "to_dot",
+    "ControlFlowGraph",
+    "acfg_from_text",
+    "acfg_to_text",
+    "build_cfg_from_file",
+    "build_cfg_from_text",
+    "cfg_from_dict",
+    "cfg_to_dict",
+    "load_cfg",
+    "save_cfg",
+]

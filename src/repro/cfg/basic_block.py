@@ -1,0 +1,63 @@
+"""Basic block: a vertex of the control flow graph.
+
+A basic block is a straight-line sequence of instructions with a single
+entry (its first instruction) and control-flow transfer only at its exit
+(Section II-A of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.asm.instruction import Instruction
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line instruction sequence starting at ``start_address``.
+
+    Blocks are identified by their start address, which is unique within
+    one control flow graph.
+    """
+
+    start_address: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> None:
+        """Add an instruction to the end of the block."""
+        self.instructions.append(instruction)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.instructions
+
+    @property
+    def last_instruction(self) -> Instruction:
+        """The exit instruction of the block.
+
+        Raises
+        ------
+        IndexError
+            If the block is empty (possible transiently during
+            construction, never in a finished CFG).
+        """
+        return self.instructions[-1]
+
+    @property
+    def end_address(self) -> int:
+        """One past the last instruction's address span."""
+        if self.is_empty:
+            return self.start_address
+        return self.last_instruction.next_address
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __hash__(self) -> int:
+        return hash(self.start_address)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        header = f"block@{self.start_address:#x} ({len(self)} insts)"
+        body = "\n  ".join(str(inst) for inst in self.instructions)
+        return f"{header}\n  {body}" if body else header

@@ -1,0 +1,111 @@
+"""Second pass of CFG construction: block creation and connection.
+
+This is Algorithm 2 of the paper (``CfgBuilder::connectBlocks``).  It
+iterates the tagged program once, creating blocks on the fly at every
+instruction whose ``start`` tag is set, wiring fall-through edges when the
+current instruction falls through into a block start, and wiring branch
+edges for every instruction with a resolved ``branch_to`` address.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.asm.instruction import Instruction
+from repro.asm.parser import AsmParser
+from repro.asm.program import Program
+from repro.asm.visitor import InstructionTagger
+from repro.cfg.basic_block import BasicBlock
+from repro.cfg.graph import ControlFlowGraph
+from repro.exceptions import CfgConstructionError
+
+
+class CfgBuilder:
+    """Builds a :class:`ControlFlowGraph` from a tagged program.
+
+    The two-pass structure of Section IV-A is preserved exactly:
+    :meth:`build` first runs the :class:`InstructionTagger` (pass 1,
+    Algorithm 1) and then :meth:`connect_blocks` (pass 2, Algorithm 2).
+    """
+
+    def __init__(
+        self,
+        resolve_target: Optional[Callable[[str], Optional[int]]] = None,
+        follow_calls: bool = True,
+    ) -> None:
+        self._resolve_target = resolve_target
+        self.follow_calls = follow_calls
+
+    def build(self, program: Program, name: str = "") -> ControlFlowGraph:
+        """Tag ``program`` and assemble its control flow graph."""
+        if len(program) == 0:
+            raise CfgConstructionError("cannot build a CFG from an empty program")
+        resolver = self._resolve_target or (lambda operand: None)
+        tagger = InstructionTagger(resolver, follow_calls=self.follow_calls)
+        tagger.tag(program)
+        return self.connect_blocks(program, name=name)
+
+    def build_from_text(self, text: str, name: str = "") -> ControlFlowGraph:
+        """Parse listing text and build its CFG in one call."""
+        parser = AsmParser()
+        program = parser.parse(text)
+        builder = CfgBuilder(
+            resolve_target=parser.resolve_target,
+            follow_calls=self.follow_calls,
+        )
+        return builder.build(program, name=name)
+
+    def connect_blocks(self, program: Program, name: str = "") -> ControlFlowGraph:
+        """Algorithm 2: create vertices and edges over a tagged program."""
+        graph = ControlFlowGraph(name=name)
+        blocks_by_address: Dict[int, BasicBlock] = {}
+
+        def get_block_at_addr(address: int) -> BasicBlock:
+            """``getBlockAtAddr`` helper: fetch or create the block."""
+            block = blocks_by_address.get(address)
+            if block is None:
+                block = BasicBlock(start_address=address)
+                blocks_by_address[address] = block
+                graph.add_block(block)
+            return block
+
+        curr_block: Optional[BasicBlock] = None
+        for inst in program:
+            if inst.start:
+                curr_block = get_block_at_addr(inst.address)
+            if curr_block is None:
+                # Defensive: the tagger always marks the first instruction
+                # as a start, so this only fires on inconsistent tags.
+                curr_block = get_block_at_addr(inst.address)
+            next_block = curr_block
+
+            next_inst = program.next_instruction(inst)
+            if next_inst is not None:
+                if inst.fall_through and next_inst.start:
+                    next_block = get_block_at_addr(next_inst.address)
+                    graph.add_edge(curr_block, next_block)
+
+            if inst.branch_to is not None:
+                target = program.nearest_at_or_after(inst.branch_to)
+                if target is not None:
+                    block = get_block_at_addr(target.address)
+                    graph.add_edge(curr_block, block)
+
+            curr_block.append(inst)
+            curr_block = next_block
+
+        graph.remove_empty_blocks()
+        return graph
+
+
+def build_cfg_from_text(text: str, name: str = "") -> ControlFlowGraph:
+    """Convenience wrapper: listing text -> :class:`ControlFlowGraph`."""
+    return CfgBuilder().build_from_text(text, name=name)
+
+
+def build_cfg_from_file(path: str, name: str = "") -> ControlFlowGraph:
+    """Convenience wrapper: ``.asm`` file -> :class:`ControlFlowGraph`."""
+    parser = AsmParser()
+    program = parser.parse_file(path)
+    builder = CfgBuilder(resolve_target=parser.resolve_target)
+    return builder.build(program, name=name or path)

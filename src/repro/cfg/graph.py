@@ -1,0 +1,179 @@
+"""Control flow graph: directed graph of basic blocks.
+
+The CFG is the central data structure of MAGIC.  A vertex is a
+:class:`BasicBlock`; a directed edge ``u -> v`` exists when the last
+instruction of ``u`` falls through to the first instruction of ``v`` or
+branches to some instruction in ``v`` (Section II-A).
+
+The graph exposes the matrices DGCNN consumes (adjacency ``A``, augmented
+adjacency ``Â = A + I``, augmented degree ``D̂``) and a
+:meth:`to_networkx` bridge for analysis and visualisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.cfg.basic_block import BasicBlock
+from repro.exceptions import CfgConstructionError
+
+
+class ControlFlowGraph:
+    """A directed graph of basic blocks, ordered by start address."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._blocks: Dict[int, BasicBlock] = {}
+        self._successors: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        """Insert ``block``; duplicate start addresses are rejected."""
+        if block.start_address in self._blocks:
+            raise CfgConstructionError(
+                f"duplicate block at {block.start_address:#x}"
+            )
+        self._blocks[block.start_address] = block
+        self._successors.setdefault(block.start_address, set())
+        return block
+
+    def get_block(self, start_address: int) -> Optional[BasicBlock]:
+        return self._blocks.get(start_address)
+
+    def add_edge(self, src: BasicBlock, dst: BasicBlock) -> None:
+        """Add the directed edge ``src -> dst``; both must be in the graph."""
+        if src.start_address not in self._blocks:
+            raise CfgConstructionError(
+                f"edge source {src.start_address:#x} not in graph"
+            )
+        if dst.start_address not in self._blocks:
+            raise CfgConstructionError(
+                f"edge target {dst.start_address:#x} not in graph"
+            )
+        self._successors[src.start_address].add(dst.start_address)
+
+    def remove_empty_blocks(self) -> None:
+        """Drop blocks that ended up with no instructions.
+
+        Dangling jump targets into data can create empty placeholder
+        blocks during construction; a finished CFG has none.
+        """
+        empty = [addr for addr, b in self._blocks.items() if b.is_empty]
+        for addr in empty:
+            del self._blocks[addr]
+            del self._successors[addr]
+        for succ in self._successors.values():
+            succ.difference_update(empty)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._successors.values())
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def blocks(self) -> List[BasicBlock]:
+        """All blocks in ascending start-address order."""
+        return [self._blocks[a] for a in sorted(self._blocks)]
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks())
+
+    def successors(self, block: BasicBlock) -> List[BasicBlock]:
+        """Successor blocks of ``block`` in ascending address order."""
+        return [
+            self._blocks[a]
+            for a in sorted(self._successors.get(block.start_address, ()))
+        ]
+
+    def out_degree(self, block: BasicBlock) -> int:
+        """Number of offspring of ``block`` (a Table I attribute)."""
+        return len(self._successors.get(block.start_address, ()))
+
+    def in_degree(self, block: BasicBlock) -> int:
+        """Number of predecessors of ``block``."""
+        address = block.start_address
+        return sum(
+            1 for successors in self._successors.values() if address in successors
+        )
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All edges as ``(src_start, dst_start)`` address pairs, sorted."""
+        result = []
+        for src in sorted(self._successors):
+            for dst in sorted(self._successors[src]):
+                result.append((src, dst))
+        return result
+
+    def entry_block(self) -> Optional[BasicBlock]:
+        """The block with the lowest start address, or ``None`` if empty."""
+        if not self._blocks:
+            return None
+        return self._blocks[min(self._blocks)]
+
+    def total_instructions(self) -> int:
+        return sum(len(block) for block in self._blocks.values())
+
+    # ------------------------------------------------------------------
+    # matrix views (Section III-A notation)
+
+    def vertex_index(self) -> Dict[int, int]:
+        """Map block start address -> dense vertex index (address order)."""
+        return {addr: i for i, addr in enumerate(sorted(self._blocks))}
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """The (dense) adjacency matrix ``A`` in address order.
+
+        ``A[i, j] == 1`` iff there is an edge from vertex ``i`` to vertex
+        ``j``.  ``A`` is generally *not* symmetric: the CFG is directed.
+        """
+        index = self.vertex_index()
+        n = len(index)
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for src, dst in self.edges():
+            matrix[index[src], index[dst]] = 1.0
+        return matrix
+
+    def augmented_adjacency_matrix(self) -> np.ndarray:
+        """``Â = A + I``: self-loops let attributes propagate to self."""
+        matrix = self.adjacency_matrix()
+        np.fill_diagonal(matrix, matrix.diagonal() + 1.0)
+        return matrix
+
+    def augmented_degree_matrix(self) -> np.ndarray:
+        """Diagonal ``D̂`` with ``D̂[i, i] = sum_j Â[i, j]``."""
+        augmented = self.augmented_adjacency_matrix()
+        return np.diag(augmented.sum(axis=1))
+
+    # ------------------------------------------------------------------
+    # interop
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` with block metadata."""
+        import networkx as nx
+
+        graph = nx.DiGraph(name=self.name)
+        for block in self.blocks():
+            graph.add_node(
+                block.start_address,
+                num_instructions=len(block),
+            )
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"ControlFlowGraph(name={self.name!r}, "
+            f"vertices={self.num_vertices}, edges={self.num_edges})"
+        )

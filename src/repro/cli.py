@@ -1,0 +1,218 @@
+"""Command-line interface for MAGIC.
+
+Mirrors the deployment story of Section VII — train on labelled corpora,
+then classify unknown binaries' listings — as four subcommands:
+
+* ``info``     — parse a listing, print CFG structure and metrics.
+* ``extract``  — batch-convert listings to cached CFG JSON files.
+* ``train``    — train a MAGIC instance on a synthetic corpus (or a
+  directory of cached CFGs named ``<family>__<id>.json``) and persist it.
+* ``predict``  — classify listings with a persisted model.
+
+Run ``python -m repro.cli --help`` for usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.asm.parser import AsmParser
+from repro.cfg.builder import CfgBuilder
+from repro.cfg.metrics import compute_cfg_metrics, to_dot
+from repro.cfg.serialization import load_cfg, save_cfg
+from repro.core.dgcnn import ModelConfig
+from repro.core.magic import Magic
+from repro.exceptions import MagicError
+from repro.features.acfg import ACFG
+from repro.train.trainer import TrainingConfig
+
+
+def _build_cfg_from_file(path: str):
+    parser = AsmParser()
+    program = parser.parse_file(path)
+    builder = CfgBuilder(resolve_target=parser.resolve_target)
+    return builder.build(program, name=os.path.basename(path))
+
+
+# ----------------------------------------------------------------------
+# subcommands
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    cfg = _build_cfg_from_file(args.listing)
+    metrics = compute_cfg_metrics(cfg)
+    print(f"{args.listing}:")
+    for key, value in metrics.as_dict().items():
+        print(f"  {key:24s} {value}")
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(to_dot(cfg, include_instructions=args.verbose))
+        print(f"  DOT written to {args.dot}")
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    os.makedirs(args.output, exist_ok=True)
+    failures = 0
+    for path in args.listings:
+        try:
+            cfg = _build_cfg_from_file(path)
+        except MagicError as exc:
+            print(f"FAILED {path}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        base = os.path.splitext(os.path.basename(path))[0]
+        destination = os.path.join(args.output, base + ".json")
+        save_cfg(cfg, destination)
+        print(f"{path} -> {destination} "
+              f"({cfg.num_vertices} blocks, {cfg.num_edges} edges)")
+    return 1 if failures else 0
+
+
+def _load_cfg_corpus(directory: str):
+    """Load ``<family>__<id>.json`` CFGs into a labelled dataset."""
+    from repro.datasets.loader import MalwareDataset
+
+    families: List[str] = []
+    acfgs = []
+    records = []
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".json"):
+            continue
+        family = filename.split("__", 1)[0]
+        if family not in families:
+            families.append(family)
+        records.append((os.path.join(directory, filename), family))
+    for path, family in records:
+        cfg = load_cfg(path)
+        acfgs.append(ACFG.from_cfg(cfg, label=families.index(family)))
+    if not acfgs:
+        raise MagicError(f"no CFG JSON files found in {directory}")
+    return MalwareDataset(acfgs=acfgs, family_names=families)
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    if args.cfg_dir:
+        dataset = _load_cfg_corpus(args.cfg_dir)
+    elif args.dataset == "mskcfg":
+        from repro.datasets import generate_mskcfg_dataset
+
+        dataset = generate_mskcfg_dataset(
+            total=args.total, seed=args.seed, minimum_per_family=8
+        )
+    else:
+        from repro.datasets import generate_yancfg_dataset
+
+        dataset = generate_yancfg_dataset(
+            total=args.total, seed=args.seed, minimum_per_family=8
+        )
+
+    train, validation = dataset.stratified_split(0.2, seed=args.seed)
+    config = ModelConfig(
+        num_attributes=dataset.acfgs[0].num_attributes,
+        num_classes=dataset.num_classes,
+        pooling=args.pooling,
+        graph_conv_sizes=(32, 32, 32, 32),
+        amp_grid=(3, 3),
+        conv2d_channels=16,
+        sort_k=10,
+        hidden_size=64,
+        dropout=0.1,
+        seed=args.seed,
+    )
+    magic = Magic(config, dataset.family_names)
+    print(f"Training on {len(train)} samples "
+          f"({dataset.num_classes} families, {args.epochs} epochs)...")
+    history = magic.fit(
+        train.acfgs,
+        validation.acfgs,
+        TrainingConfig(epochs=args.epochs, batch_size=10,
+                       learning_rate=3e-3, seed=args.seed),
+    )
+    report = magic.evaluate(validation.acfgs)
+    print(report.format_table())
+    print(f"Best epoch {history.best_epoch} "
+          f"(validation loss {history.best_validation_loss:.4f})")
+    magic.save(args.model_dir)
+    print(f"Model saved to {args.model_dir}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    magic = Magic.load(args.model_dir)
+    status = 0
+    for path in args.listings:
+        try:
+            if path.endswith(".json"):
+                acfg = ACFG.from_cfg(load_cfg(path))
+                probabilities = magic.predict_proba([acfg])[0]
+                family = magic.family_names[int(probabilities.argmax())]
+            else:
+                with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                    family, probabilities = magic.classify_asm(fh.read(), name=path)
+        except MagicError as exc:
+            print(f"FAILED {path}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        confidence = float(probabilities.max())
+        print(f"{path}: {family} (confidence {confidence:.3f})")
+    return status
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="MAGIC: CFG-based malware classification (DSN 2019 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="inspect one listing's CFG")
+    p_info.add_argument("listing")
+    p_info.add_argument("--dot", help="also write a Graphviz DOT file")
+    p_info.add_argument("--verbose", action="store_true",
+                        help="embed disassembly in DOT labels")
+    p_info.set_defaults(func=cmd_info)
+
+    p_extract = sub.add_parser("extract", help="listings -> cached CFG JSON")
+    p_extract.add_argument("listings", nargs="+")
+    p_extract.add_argument("--output", required=True)
+    p_extract.set_defaults(func=cmd_extract)
+
+    p_train = sub.add_parser("train", help="train and persist a model")
+    p_train.add_argument("--dataset", choices=("mskcfg", "yancfg"),
+                         default="mskcfg")
+    p_train.add_argument("--cfg-dir",
+                         help="train on <family>__<id>.json CFGs instead")
+    p_train.add_argument("--total", type=int, default=120)
+    p_train.add_argument("--epochs", type=int, default=15)
+    p_train.add_argument("--pooling", default="adaptive",
+                         choices=("adaptive", "sort_conv1d", "sort_weighted"))
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--model-dir", required=True)
+    p_train.set_defaults(func=cmd_train)
+
+    p_predict = sub.add_parser("predict", help="classify listings")
+    p_predict.add_argument("--model-dir", required=True)
+    p_predict.add_argument("listings", nargs="+")
+    p_predict.set_defaults(func=cmd_predict)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except MagicError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

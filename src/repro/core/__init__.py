@@ -1,0 +1,45 @@
+"""The paper's primary contribution: DGCNN variants and the MAGIC system."""
+
+from repro.core.adaptive_pooling import AdaptivePoolingHead
+from repro.core.dgcnn import (
+    POOLING_ADAPTIVE,
+    POOLING_SORT_CONV1D,
+    POOLING_SORT_WEIGHTED,
+    POOLING_TYPES,
+    DgcnnAdaptivePooling,
+    DgcnnBase,
+    DgcnnSortPoolingConv1d,
+    DgcnnSortPoolingWeightedVertices,
+    ModelConfig,
+    build_model,
+)
+from repro.core.graph_conv import GraphConvolution, GraphConvolutionStack
+from repro.core.magic import Magic, PredictionTiming
+from repro.core.sort_pooling import (
+    SortPooling,
+    resolve_sort_pooling_k,
+    sort_vertex_order,
+)
+from repro.core.weighted_vertices import WeightedVertices
+
+__all__ = [
+    "AdaptivePoolingHead",
+    "DgcnnAdaptivePooling",
+    "DgcnnBase",
+    "DgcnnSortPoolingConv1d",
+    "DgcnnSortPoolingWeightedVertices",
+    "GraphConvolution",
+    "GraphConvolutionStack",
+    "Magic",
+    "ModelConfig",
+    "POOLING_ADAPTIVE",
+    "POOLING_SORT_CONV1D",
+    "POOLING_SORT_WEIGHTED",
+    "POOLING_TYPES",
+    "PredictionTiming",
+    "SortPooling",
+    "WeightedVertices",
+    "build_model",
+    "resolve_sort_pooling_k",
+    "sort_vertex_order",
+]

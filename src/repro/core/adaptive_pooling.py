@@ -1,0 +1,67 @@
+"""Adaptive max pooling head (Section III-C, the paper's second extension).
+
+Instead of SortPooling, the concatenated graph-convolution output
+``Z^{1:h}`` (an ``n × sum(c_t)`` "image" whose height varies per graph) is
+
+1. passed through a Conv2D layer "with an arbitrary number of filters"
+   (Table II sweeps 16 or 32 channels) so that features can mix across
+   both the vertex and channel dimensions,
+2. adaptively max-pooled to a fixed ``H × W`` grid (Figure 6), making the
+   representation size graph-independent,
+
+after which a VGG-inspired multi-Conv2D head (see
+:class:`repro.core.dgcnn.DgcnnAdaptivePooling`) predicts the family
+distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Module
+from repro.nn.tensor import Tensor
+
+
+class AdaptivePoolingHead(Module):
+    """Conv2D + adaptive max pooling: ``(n, C) -> (channels, H, W)``.
+
+    Parameters
+    ----------
+    channels:
+        Filters in the pre-AMP Conv2D ("2D Convolution Channels" in
+        Table II: 16 or 32).
+    output_grid:
+        The fixed ``(H, W)`` AMP output grid (Figure 6 uses 3x3).
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        output_grid: Tuple[int, int] = (3, 3),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if channels < 1:
+            raise ConfigurationError(f"channels must be >= 1, got {channels}")
+        grid_h, grid_w = output_grid
+        if grid_h < 1 or grid_w < 1:
+            raise ConfigurationError(f"output grid must be positive, got {output_grid}")
+        self.channels = channels
+        self.output_grid = (grid_h, grid_w)
+        self.conv = Conv2d(1, channels, kernel_size=3, stride=1, padding=1, rng=rng)
+
+    def forward(self, z_concat: Tensor) -> Tensor:
+        """Pool one graph's ``Z^{1:h}`` to a fixed-size feature volume."""
+        if z_concat.ndim != 2:
+            raise ShapeError(
+                f"AdaptivePoolingHead expects (n, C) input, got {z_concat.shape}"
+            )
+        n, c = z_concat.shape
+        image = z_concat.reshape(1, 1, n, c)
+        convolved = self.conv(image).relu()
+        pooled = F.adaptive_max_pool2d(convolved, self.output_grid)
+        return pooled.reshape(self.channels, *self.output_grid)

@@ -1,0 +1,342 @@
+"""DGCNN model variants for CFG classification (Section III).
+
+Three end-to-end architectures share the graph-convolution stack and
+differ in how they reduce the variable-size ``Z^{1:h}`` to a fixed-size
+representation:
+
+* :class:`DgcnnSortPoolingConv1d` — SortPooling + the original remaining
+  Conv1D layers of Zhang et al. (Section III-A-4).
+* :class:`DgcnnSortPoolingWeightedVertices` — SortPooling + the paper's
+  WeightedVertices graph-embedding layer (Section III-B).
+* :class:`DgcnnAdaptivePooling` — Conv2D + adaptive max pooling + a
+  VGG-inspired Conv2D head (Section III-C); the architecture Table II
+  selects as best on both datasets.
+
+All variants consume a list of :class:`~repro.features.acfg.ACFG` and
+emit ``(batch, num_classes)`` log-probabilities, so the training loop,
+loss (Equation 5), and evaluation code are architecture-agnostic —
+"regardless of how we change the layer configurations ... the model's
+output is always the prediction of the observed input" (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.features.acfg import ACFG
+from repro.nn import functional as F
+from repro.nn import stack
+from repro.nn.layers import Conv1d, Conv2d, Dropout, Linear, Module
+from repro.nn.tensor import Tensor
+from repro.core.adaptive_pooling import AdaptivePoolingHead
+from repro.core.batched import GraphBatch, propagate
+from repro.core.graph_conv import GraphConvolutionStack
+from repro.core.sort_pooling import SortPooling
+from repro.core.weighted_vertices import WeightedVertices
+
+#: Pooling architecture names accepted by :func:`build_model` (Table II).
+POOLING_ADAPTIVE = "adaptive"
+POOLING_SORT_CONV1D = "sort_conv1d"
+POOLING_SORT_WEIGHTED = "sort_weighted"
+POOLING_TYPES = (POOLING_ADAPTIVE, POOLING_SORT_CONV1D, POOLING_SORT_WEIGHTED)
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters of one DGCNN instance (the rows of Table II).
+
+    Attributes
+    ----------
+    num_attributes:
+        Input channels ``c`` (11 for the Table I attribute set).
+    num_classes:
+        Number of malware families.
+    pooling:
+        One of ``"adaptive"``, ``"sort_conv1d"``, ``"sort_weighted"``.
+    graph_conv_sizes:
+        Widths of the graph convolution layers.
+    sort_k:
+        ``k`` for SortPooling variants (resolved from the training set via
+        :func:`repro.core.sort_pooling.resolve_sort_pooling_k`).
+    amp_grid:
+        Adaptive pooling output grid (adaptive variant only).
+    conv2d_channels:
+        Filters in the pre-AMP Conv2D (adaptive variant only).
+    conv1d_channels:
+        Channel pair of the two remaining Conv1D layers (sort_conv1d only).
+    conv1d_kernel:
+        Kernel size of the second Conv1D layer (sort_conv1d only).
+    hidden_size:
+        Width of the fully connected layer before the output.
+    dropout:
+        Dropout rate applied before the output layer.
+    activation:
+        Graph-convolution nonlinearity ``f``.
+    normalize_propagation:
+        ``True`` for Equation 1's ``D̂^-1 Â`` propagation (the paper);
+        ``False`` for raw ``Â`` (ablation, DESIGN.md §5).
+    use_batched_propagation:
+        ``True`` runs graph convolutions over a block-diagonal sparse
+        merge of the batch (one matmul per layer); ``False`` (default)
+        processes graphs individually with dense BLAS matmuls, which is
+        faster for the small dense propagation operators CFGs produce.
+        Both paths are numerically identical.
+    seed:
+        Seed for parameter initialization and dropout.
+    """
+
+    num_attributes: int
+    num_classes: int
+    pooling: str = POOLING_ADAPTIVE
+    graph_conv_sizes: Tuple[int, ...] = (32, 32, 32, 32)
+    sort_k: int = 10
+    amp_grid: Tuple[int, int] = (3, 3)
+    conv2d_channels: int = 16
+    conv1d_channels: Tuple[int, int] = (16, 32)
+    conv1d_kernel: int = 5
+    hidden_size: int = 128
+    dropout: float = 0.1
+    activation: str = "tanh"
+    normalize_propagation: bool = True
+    use_batched_propagation: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pooling not in POOLING_TYPES:
+            raise ConfigurationError(
+                f"pooling must be one of {POOLING_TYPES}, got {self.pooling!r}"
+            )
+        if self.num_classes < 2:
+            raise ConfigurationError(
+                f"num_classes must be >= 2, got {self.num_classes}"
+            )
+        if self.num_attributes < 1:
+            raise ConfigurationError(
+                f"num_attributes must be >= 1, got {self.num_attributes}"
+            )
+
+
+class DgcnnBase(Module):
+    """Shared scaffolding: graph conv stack + classifier plumbing."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        super().__init__()
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.graph_convs = GraphConvolutionStack(
+            config.num_attributes,
+            config.graph_conv_sizes,
+            activation=config.activation,
+            rng=self._rng,
+            normalize_propagation=config.normalize_propagation,
+        )
+
+    # -- per-graph fixed-size representation (architecture-specific) ----
+
+    def embed_from_zconcat(self, z_concat: Tensor) -> Tensor:
+        """Pool one graph's ``Z^{1:h}`` to its flat fixed-size embedding."""
+        raise NotImplementedError
+
+    def embed_graph(self, acfg: ACFG) -> Tensor:
+        """Fixed-size representation of one graph (flattened to 1-D)."""
+        return self.embed_from_zconcat(self.graph_convs(acfg))
+
+    def forward(self, batch: Sequence[ACFG]) -> Tensor:
+        """Log-probabilities for a batch of graphs: ``(B, num_classes)``.
+
+        With ``config.use_batched_propagation`` the graph convolutions
+        run over the whole batch at once via a block-diagonal sparse
+        propagation operator (:mod:`repro.core.batched`); otherwise each
+        graph flows through dense per-graph matmuls.  The two paths are
+        numerically identical (``tests/core/test_batched.py``).
+        """
+        if not batch:
+            raise ConfigurationError("forward() on an empty batch")
+        if self.config.use_batched_propagation:
+            graph_batch = GraphBatch(
+                batch, normalize_propagation=self.config.normalize_propagation
+            )
+            z_all = self._graph_conv_batched(graph_batch)
+            embeddings = [
+                self.embed_from_zconcat(z_slice)
+                for z_slice in graph_batch.split(z_all)
+            ]
+        else:
+            embeddings = [self.embed_graph(acfg) for acfg in batch]
+        stacked = stack(embeddings, axis=0)
+        return self.classify(stacked)
+
+    def _graph_conv_batched(self, graph_batch: GraphBatch) -> Tensor:
+        """Run the graph-convolution stack over a merged batch."""
+        from repro.nn import concatenate
+
+        stack_module = self.graph_convs
+        z = Tensor(graph_batch.attributes)
+        outputs = []
+        for index in range(stack_module.num_layers):
+            layer = stack_module.layer(index)
+            mixed = z @ layer.weight
+            propagated = propagate(graph_batch, mixed)
+            z = propagated.tanh() if layer.activation == "tanh" else propagated.relu()
+            outputs.append(z)
+        return concatenate(outputs, axis=1)
+
+    def classify(self, embeddings: Tensor) -> Tensor:
+        """Map stacked graph embeddings ``(B, D)`` to log-probabilities."""
+        raise NotImplementedError
+
+    def predict_proba(self, batch: Sequence[ACFG]) -> np.ndarray:
+        """Class probabilities without tracking gradients."""
+        was_training = self.training
+        self.eval()
+        try:
+            log_probs = self.forward(batch)
+        finally:
+            self.train(was_training)
+        return np.exp(log_probs.data)
+
+    def predict(self, batch: Sequence[ACFG]) -> np.ndarray:
+        """Hard class predictions for a batch of graphs."""
+        return self.predict_proba(batch).argmax(axis=1)
+
+
+class _MlpHead(Module):
+    """Dense -> ReLU -> Dropout -> Dense -> log-softmax classifier tail."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_size: int,
+        num_classes: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.fc1 = Linear(in_features, hidden_size, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+        self.fc2 = Linear(hidden_size, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.drop(self.fc1(x).relu())
+        return F.log_softmax(self.fc2(hidden), axis=-1)
+
+
+class DgcnnSortPoolingConv1d(DgcnnBase):
+    """SortPooling + the original DGCNN remaining layers (Section III-A-4).
+
+    The sort-pooled ``(k, C)`` tensor is flattened to a length ``k*C``
+    signal; a Conv1D with kernel and stride ``C`` produces one descriptor
+    per retained vertex, followed by max pooling, a second Conv1D, and a
+    dense head.
+    """
+
+    def __init__(self, config: ModelConfig) -> None:
+        super().__init__(config)
+        total_channels = self.graph_convs.total_channels
+        ch1, ch2 = config.conv1d_channels
+        self.sort_pool = SortPooling(config.sort_k)
+        self.conv1 = Conv1d(
+            1, ch1, kernel_size=total_channels, stride=total_channels, rng=self._rng
+        )
+        length_after_conv1 = config.sort_k
+        length_after_pool = max(1, (length_after_conv1 - 2) // 2 + 1)
+        kernel2 = min(config.conv1d_kernel, length_after_pool)
+        self.conv2 = Conv1d(ch1, ch2, kernel_size=kernel2, stride=1, rng=self._rng)
+        length_after_conv2 = length_after_pool - kernel2 + 1
+        self._flat_size = ch2 * length_after_conv2
+        self.head = _MlpHead(
+            self._flat_size,
+            config.hidden_size,
+            config.num_classes,
+            config.dropout,
+            self._rng,
+        )
+
+    def embed_from_zconcat(self, z_concat: Tensor) -> Tensor:
+        z_sp = self.sort_pool(z_concat)          # (k, C)
+        k, c = z_sp.shape
+        signal = z_sp.reshape(1, 1, k * c)
+        out = self.conv1(signal).relu()          # (1, ch1, k)
+        if out.shape[-1] >= 2:
+            out = F.max_pool1d(out, 2, 2)
+        out = self.conv2(out).relu()             # (1, ch2, L)
+        return out.reshape(self._flat_size)
+
+    def classify(self, embeddings: Tensor) -> Tensor:
+        return self.head(embeddings)
+
+
+class DgcnnSortPoolingWeightedVertices(DgcnnBase):
+    """SortPooling + WeightedVertices graph embedding (Section III-B)."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        super().__init__(config)
+        total_channels = self.graph_convs.total_channels
+        self.sort_pool = SortPooling(config.sort_k)
+        self.weighted = WeightedVertices(config.sort_k, rng=self._rng)
+        self.head = _MlpHead(
+            total_channels,
+            config.hidden_size,
+            config.num_classes,
+            config.dropout,
+            self._rng,
+        )
+
+    def embed_from_zconcat(self, z_concat: Tensor) -> Tensor:
+        z_sp = self.sort_pool(z_concat)          # (k, C)
+        return self.weighted(z_sp)               # (C,)
+
+    def classify(self, embeddings: Tensor) -> Tensor:
+        return self.head(embeddings)
+
+
+class DgcnnAdaptivePooling(DgcnnBase):
+    """Conv2D + AMP + VGG-inspired Conv2D head (Section III-C).
+
+    After the per-graph adaptive pooling produces a fixed
+    ``(channels, H, W)`` volume, two 3x3 Conv2D layers (channel-doubling,
+    in the VGG spirit) refine it before the dense classifier.
+    """
+
+    def __init__(self, config: ModelConfig) -> None:
+        super().__init__(config)
+        channels = config.conv2d_channels
+        self.amp_head = AdaptivePoolingHead(
+            channels, output_grid=config.amp_grid, rng=self._rng
+        )
+        self.vgg1 = Conv2d(channels, 2 * channels, 3, stride=1, padding=1, rng=self._rng)
+        self.vgg2 = Conv2d(2 * channels, 2 * channels, 3, stride=1, padding=1, rng=self._rng)
+        grid_h, grid_w = config.amp_grid
+        self._flat_size = 2 * channels * grid_h * grid_w
+        self.head = _MlpHead(
+            self._flat_size,
+            config.hidden_size,
+            config.num_classes,
+            config.dropout,
+            self._rng,
+        )
+
+    def embed_from_zconcat(self, z_concat: Tensor) -> Tensor:
+        return self.amp_head(z_concat).reshape(-1)
+
+    def classify(self, embeddings: Tensor) -> Tensor:
+        channels = self.amp_head.channels
+        grid_h, grid_w = self.config.amp_grid
+        volume = embeddings.reshape(embeddings.shape[0], channels, grid_h, grid_w)
+        out = self.vgg1(volume).relu()
+        out = self.vgg2(out).relu()
+        flat = out.reshape(out.shape[0], self._flat_size)
+        return self.head(flat)
+
+
+def build_model(config: ModelConfig) -> DgcnnBase:
+    """Instantiate the architecture selected by ``config.pooling``."""
+    if config.pooling == POOLING_ADAPTIVE:
+        return DgcnnAdaptivePooling(config)
+    if config.pooling == POOLING_SORT_CONV1D:
+        return DgcnnSortPoolingConv1d(config)
+    return DgcnnSortPoolingWeightedVertices(config)

@@ -1,0 +1,47 @@
+"""Malware corpora: synthetic MSKCFG and YANCFG substitutes plus loaders.
+
+See DESIGN.md section 2 for why the corpora are synthetic and how the
+substitution preserves the paper's experimental shape.
+"""
+
+from repro.datasets.loader import MalwareDataset
+from repro.datasets.mskcfg import (
+    MSKCFG_FAMILIES,
+    MSKCFG_FAMILY_COUNTS,
+    MSKCFG_PROFILES,
+    generate_mskcfg_dataset,
+    generate_mskcfg_listings,
+)
+from repro.datasets.synthetic_asm import (
+    FamilyProfile,
+    GenBlock,
+    GenInstruction,
+    GenProgram,
+    ProgramGenerator,
+    generate_family_listing,
+)
+from repro.datasets.yancfg import (
+    YANCFG_FAMILIES,
+    YANCFG_FAMILY_COUNTS,
+    YANCFG_PROFILES,
+    generate_yancfg_dataset,
+)
+
+__all__ = [
+    "FamilyProfile",
+    "GenBlock",
+    "GenInstruction",
+    "GenProgram",
+    "MSKCFG_FAMILIES",
+    "MSKCFG_FAMILY_COUNTS",
+    "MSKCFG_PROFILES",
+    "MalwareDataset",
+    "ProgramGenerator",
+    "YANCFG_FAMILIES",
+    "YANCFG_FAMILY_COUNTS",
+    "YANCFG_PROFILES",
+    "generate_family_listing",
+    "generate_mskcfg_dataset",
+    "generate_mskcfg_listings",
+    "generate_yancfg_dataset",
+]

@@ -1,0 +1,125 @@
+"""Dataset container, stratified splitting, and k-fold cross validation.
+
+The paper evaluates with five-fold cross validation over imbalanced
+family distributions (Figures 7 and 8), so splits here are *stratified*:
+every fold preserves per-family proportions, and every family with at
+least ``n_splits`` members appears in every fold.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.features.acfg import ACFG
+
+
+@dataclasses.dataclass
+class MalwareDataset:
+    """Labelled ACFGs plus the family-name table.
+
+    ``acfgs[i].label`` indexes into ``family_names``.
+    """
+
+    acfgs: List[ACFG]
+    family_names: List[str]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for acfg in self.acfgs:
+            if acfg.label is None:
+                raise DatasetError(f"sample {acfg.name!r} has no label")
+            if not 0 <= acfg.label < len(self.family_names):
+                raise DatasetError(
+                    f"sample {acfg.name!r} label {acfg.label} out of range "
+                    f"for {len(self.family_names)} families"
+                )
+
+    def __len__(self) -> int:
+        return len(self.acfgs)
+
+    def __getitem__(self, index: int) -> ACFG:
+        return self.acfgs[index]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.family_names)
+
+    def labels(self) -> np.ndarray:
+        return np.array([acfg.label for acfg in self.acfgs], dtype=np.int64)
+
+    def graph_sizes(self) -> List[int]:
+        return [acfg.num_vertices for acfg in self.acfgs]
+
+    def family_counts(self) -> Dict[str, int]:
+        """Sample count per family (the data behind Figures 7/8)."""
+        counts = {name: 0 for name in self.family_names}
+        for acfg in self.acfgs:
+            counts[self.family_names[acfg.label]] += 1
+        return counts
+
+    def subset(self, indices: Sequence[int]) -> "MalwareDataset":
+        return MalwareDataset(
+            acfgs=[self.acfgs[i] for i in indices],
+            family_names=list(self.family_names),
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # splits
+
+    def stratified_split(
+        self, test_fraction: float, seed: int = 0
+    ) -> Tuple["MalwareDataset", "MalwareDataset"]:
+        """``(train, test)`` preserving family proportions."""
+        if not 0.0 < test_fraction < 1.0:
+            raise DatasetError(
+                f"test_fraction must be in (0, 1), got {test_fraction}"
+            )
+        rng = np.random.default_rng(seed)
+        labels = self.labels()
+        train_idx: List[int] = []
+        test_idx: List[int] = []
+        for family in range(self.num_classes):
+            members = np.flatnonzero(labels == family)
+            rng.shuffle(members)
+            cut = max(1, int(round(test_fraction * len(members)))) if len(members) > 1 else 0
+            test_idx.extend(members[:cut].tolist())
+            train_idx.extend(members[cut:].tolist())
+        rng.shuffle(train_idx)
+        rng.shuffle(test_idx)
+        return self.subset(train_idx), self.subset(test_idx)
+
+    def stratified_kfold(
+        self, n_splits: int = 5, seed: int = 0
+    ) -> Iterator[Tuple[List[int], List[int]]]:
+        """Yield ``(train_indices, validation_indices)`` per fold.
+
+        Stratified: each family's members are dealt round-robin across the
+        folds after a seeded shuffle, so every fold sees (approximately)
+        the dataset's family distribution — the paper's 5-fold protocol.
+        """
+        if n_splits < 2:
+            raise DatasetError(f"n_splits must be >= 2, got {n_splits}")
+        if n_splits > len(self):
+            raise DatasetError(
+                f"cannot make {n_splits} folds from {len(self)} samples"
+            )
+        rng = np.random.default_rng(seed)
+        labels = self.labels()
+        folds: List[List[int]] = [[] for _ in range(n_splits)]
+        for family in range(self.num_classes):
+            members = np.flatnonzero(labels == family)
+            rng.shuffle(members)
+            for position, index in enumerate(members.tolist()):
+                folds[position % n_splits].append(index)
+        all_indices = set(range(len(self)))
+        for fold in folds:
+            validation = sorted(fold)
+            training = sorted(all_indices - set(fold))
+            if not validation or not training:
+                raise DatasetError("a fold came out empty; dataset too small")
+            yield training, validation

@@ -1,0 +1,342 @@
+"""Synthetic malware assembly generator.
+
+The MSKCFG corpus (Kaggle 2015) cannot be redistributed and is not
+available offline, so this module generates IDA-style ``.asm`` listings
+with *family-conditioned structural signatures*.  The generator works at
+the level MAGIC actually observes — control-flow structure and
+instruction-category mix — so a family is characterised by:
+
+* how many functions it has and how deeply they call each other,
+* its loop density (back edges), branch density (diamonds),
+  and dispatch-table usage (star-shaped switch blocks),
+* the instruction mix inside blocks (arithmetic-heavy packers,
+  mov-heavy droppers, call-heavy downloaders...),
+* junk-code obfuscation (opaque predicates, dead arithmetic).
+
+Programs are built as a block-level IR first (functions -> blocks ->
+pseudo-instructions with symbolic branch targets), then laid out at
+concrete addresses and rendered as parseable listing text.  The same IR
+can also be lowered directly to a :class:`ControlFlowGraph`, which the
+YANCFG generator uses to mimic that dataset's "pre-extracted CFGs only"
+distribution shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+# ----------------------------------------------------------------------
+# block-level IR
+
+#: A pseudo-operand marking a branch to another block: ("->", block_id).
+BranchTarget = Tuple[str, int]
+
+
+@dataclasses.dataclass
+class GenInstruction:
+    mnemonic: str
+    operands: Tuple = ()
+
+
+@dataclasses.dataclass
+class GenBlock:
+    """IR block: body instructions plus an explicit terminator."""
+
+    block_id: int
+    body: List[GenInstruction] = dataclasses.field(default_factory=list)
+    #: terminator: one of ("fall",), ("jmp", target), ("jcc", mnem, target),
+    #: ("ret",), ("call_fall", target)
+    terminator: Tuple = ("fall",)
+
+
+@dataclasses.dataclass
+class GenProgram:
+    """IR program: blocks in layout order."""
+
+    blocks: List[GenBlock] = dataclasses.field(default_factory=list)
+
+    def new_block(self) -> GenBlock:
+        block = GenBlock(block_id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+
+# ----------------------------------------------------------------------
+# family profiles
+
+@dataclasses.dataclass(frozen=True)
+class FamilyProfile:
+    """Structural signature of one malware family.
+
+    All ``*_range`` values are inclusive ``(low, high)`` bounds sampled
+    uniformly per program, so samples within a family vary while staying
+    recognisable.
+    """
+
+    name: str
+    num_functions: Tuple[int, int] = (3, 6)
+    blocks_per_function: Tuple[int, int] = (4, 10)
+    block_length: Tuple[int, int] = (3, 10)
+    loop_probability: float = 0.2
+    branch_probability: float = 0.4
+    call_probability: float = 0.15
+    dispatch_probability: float = 0.0
+    dispatch_fanout: Tuple[int, int] = (3, 6)
+    junk_probability: float = 0.0
+    data_blocks: Tuple[int, int] = (0, 1)
+    # Instruction-mix weights (relative) for block bodies.
+    weight_mov: float = 3.0
+    weight_arith: float = 2.0
+    weight_stack: float = 1.0
+    weight_compare: float = 1.0
+    weight_string: float = 0.2
+    numeric_constant_rate: float = 0.5
+
+
+_REGISTERS = ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp")
+_MOV_MNEMONICS = ("mov", "movzx", "lea", "xchg")
+_ARITH_MNEMONICS = ("add", "sub", "xor", "and", "or", "shl", "shr", "imul", "inc", "dec")
+_STACK_MNEMONICS = ("push", "pop")
+_COMPARE_MNEMONICS = ("cmp", "test")
+_STRING_MNEMONICS = ("movsb", "scasb", "cmpsb")
+_JCC_MNEMONICS = ("jz", "jnz", "je", "jne", "ja", "jb", "jge", "jle", "js", "jns")
+
+
+class _BodyEmitter:
+    """Samples block-body instructions according to a profile's mix."""
+
+    def __init__(self, profile: FamilyProfile, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._profile = profile
+        kinds = ["mov", "arith", "stack", "compare", "string"]
+        weights = np.array([
+            profile.weight_mov,
+            profile.weight_arith,
+            profile.weight_stack,
+            profile.weight_compare,
+            profile.weight_string,
+        ])
+        self._kinds = kinds
+        self._weights = weights / weights.sum()
+
+    def _register(self) -> str:
+        return str(self._rng.choice(_REGISTERS))
+
+    def _value_operand(self) -> str:
+        if self._rng.random() < self._profile.numeric_constant_rate:
+            return f"{int(self._rng.integers(0, 0xFFFF)):#x}"
+        return self._register()
+
+    def emit(self, count: int) -> List[GenInstruction]:
+        instructions: List[GenInstruction] = []
+        for _ in range(count):
+            kind = self._rng.choice(self._kinds, p=self._weights)
+            if kind == "mov":
+                mnemonic = str(self._rng.choice(_MOV_MNEMONICS))
+                instructions.append(
+                    GenInstruction(mnemonic, (self._register(), self._value_operand()))
+                )
+            elif kind == "arith":
+                mnemonic = str(self._rng.choice(_ARITH_MNEMONICS))
+                if mnemonic in ("inc", "dec"):
+                    instructions.append(GenInstruction(mnemonic, (self._register(),)))
+                else:
+                    instructions.append(
+                        GenInstruction(mnemonic, (self._register(), self._value_operand()))
+                    )
+            elif kind == "stack":
+                mnemonic = str(self._rng.choice(_STACK_MNEMONICS))
+                operand = (
+                    self._value_operand() if mnemonic == "push" else self._register()
+                )
+                instructions.append(GenInstruction(mnemonic, (operand,)))
+            elif kind == "compare":
+                mnemonic = str(self._rng.choice(_COMPARE_MNEMONICS))
+                instructions.append(
+                    GenInstruction(mnemonic, (self._register(), self._value_operand()))
+                )
+            else:
+                instructions.append(GenInstruction(str(self._rng.choice(_STRING_MNEMONICS))))
+        return instructions
+
+
+class ProgramGenerator:
+    """Generates IR programs (and listings) for one family profile."""
+
+    def __init__(self, profile: FamilyProfile, rng: np.random.Generator) -> None:
+        self.profile = profile
+        self._rng = rng
+        self._emitter = _BodyEmitter(profile, rng)
+
+    # -- IR construction -------------------------------------------------
+
+    def generate_ir(self) -> GenProgram:
+        """Build the block-level IR of one program."""
+        profile = self.profile
+        rng = self._rng
+        program = GenProgram()
+        num_functions = int(rng.integers(profile.num_functions[0], profile.num_functions[1] + 1))
+        entry_blocks: List[int] = []
+
+        # First pass: create each function's blocks so calls can target
+        # any function (including forward references).
+        function_spans: List[List[GenBlock]] = []
+        for _ in range(num_functions):
+            count = int(rng.integers(
+                profile.blocks_per_function[0], profile.blocks_per_function[1] + 1
+            ))
+            span = [program.new_block() for _ in range(max(2, count))]
+            function_spans.append(span)
+            entry_blocks.append(span[0].block_id)
+
+        for span in function_spans:
+            self._wire_function(span, entry_blocks)
+
+        self._append_data_blocks(program)
+        return program
+
+    def _wire_function(self, span: List[GenBlock], entry_blocks: List[int]) -> None:
+        profile = self.profile
+        rng = self._rng
+        last_index = len(span) - 1
+        for position, block in enumerate(span):
+            length = int(rng.integers(profile.block_length[0], profile.block_length[1] + 1))
+            block.body = self._emitter.emit(length)
+
+            if rng.random() < profile.call_probability and len(entry_blocks) > 1:
+                callee = int(rng.choice(entry_blocks))
+                block.body.append(GenInstruction("call", (("->", callee),)))
+
+            if rng.random() < profile.junk_probability:
+                # Opaque predicate: a compare that always falls the same
+                # way, plus dead arithmetic — classic junk-code padding.
+                block.body.extend([
+                    GenInstruction("xor", ("eax", "eax")),
+                    GenInstruction("cmp", ("eax", "0x0")),
+                    GenInstruction("add", ("ebx", "0x0")),
+                ])
+
+            if position == last_index:
+                block.terminator = ("ret",)
+                continue
+
+            if rng.random() < profile.dispatch_probability and last_index - position > 2:
+                fanout = int(rng.integers(profile.dispatch_fanout[0], profile.dispatch_fanout[1] + 1))
+                targets = rng.choice(
+                    [b.block_id for b in span[position + 1:]],
+                    size=min(fanout, last_index - position),
+                    replace=False,
+                )
+                # A dispatch chain: successive conditional jumps fanning
+                # out to many targets (the CFG shape of a switch).
+                block.terminator = ("dispatch", tuple(int(t) for t in targets))
+            elif rng.random() < profile.loop_probability and position > 0:
+                back_target = span[int(rng.integers(0, position))].block_id
+                jcc = str(rng.choice(_JCC_MNEMONICS))
+                block.terminator = ("jcc", jcc, back_target)
+            elif rng.random() < profile.branch_probability:
+                forward = span[int(rng.integers(position + 1, last_index + 1))].block_id
+                jcc = str(rng.choice(_JCC_MNEMONICS))
+                block.terminator = ("jcc", jcc, forward)
+            elif rng.random() < 0.15:
+                forward = span[int(rng.integers(position + 1, last_index + 1))].block_id
+                block.terminator = ("jmp", forward)
+            else:
+                block.terminator = ("fall",)
+
+    def _append_data_blocks(self, program: GenProgram) -> None:
+        profile = self.profile
+        rng = self._rng
+        low, high = profile.data_blocks
+        for _ in range(int(rng.integers(low, high + 1))):
+            block = program.new_block()
+            for _ in range(int(rng.integers(2, 8))):
+                value = int(rng.integers(0, 0xFF))
+                block.body.append(GenInstruction("db", (f"{value:#x}",)))
+            block.terminator = ("ret",)
+
+    # -- lowering to listing text -----------------------------------------
+
+    def render_listing(self, program: GenProgram, base_address: int = 0x401000) -> str:
+        """Lay blocks out at concrete addresses and render listing text."""
+        addresses = self._layout(program, base_address)
+        lines: List[str] = []
+        for block in program.blocks:
+            block_addr = addresses[block.block_id]
+            lines.append(f"loc_{block_addr:X}:")
+            addr = block_addr
+            for inst in block.body:
+                operands = ", ".join(
+                    self._render_operand(op, addresses) for op in inst.operands
+                )
+                text = f".text:{addr:08X} {inst.mnemonic}"
+                if operands:
+                    text += f" {operands}"
+                lines.append(text)
+                addr += 1
+            lines.extend(self._render_terminator(block, addr, addresses))
+        return "\n".join(lines) + "\n"
+
+    def _layout(self, program: GenProgram, base_address: int) -> Dict[int, int]:
+        addresses: Dict[int, int] = {}
+        addr = base_address
+        for block in program.blocks:
+            addresses[block.block_id] = addr
+            addr += len(block.body) + self._terminator_length(block)
+        return addresses
+
+    @staticmethod
+    def _terminator_length(block: GenBlock) -> int:
+        kind = block.terminator[0]
+        if kind == "fall":
+            return 0
+        if kind == "dispatch":
+            return len(block.terminator[1])
+        return 1
+
+    @staticmethod
+    def _render_operand(operand, addresses: Dict[int, int]) -> str:
+        if isinstance(operand, tuple) and len(operand) == 2 and operand[0] == "->":
+            return f"loc_{addresses[operand[1]]:X}"
+        return str(operand)
+
+    def _render_terminator(
+        self, block: GenBlock, addr: int, addresses: Dict[int, int]
+    ) -> List[str]:
+        kind = block.terminator[0]
+        if kind == "fall":
+            return []
+        if kind == "ret":
+            return [f".text:{addr:08X} retn"]
+        if kind == "jmp":
+            target = addresses[block.terminator[1]]
+            return [f".text:{addr:08X} jmp loc_{target:X}"]
+        if kind == "jcc":
+            _, mnemonic, target_id = block.terminator
+            target = addresses[target_id]
+            return [f".text:{addr:08X} {mnemonic} loc_{target:X}"]
+        if kind == "dispatch":
+            lines = []
+            for offset, target_id in enumerate(block.terminator[1]):
+                target = addresses[target_id]
+                mnemonic = _JCC_MNEMONICS[offset % len(_JCC_MNEMONICS)]
+                lines.append(f".text:{addr + offset:08X} {mnemonic} loc_{target:X}")
+            return lines
+        raise DatasetError(f"unknown terminator kind {kind!r}")
+
+    def generate_listing(self, base_address: int = 0x401000) -> str:
+        """Generate one program and render it in a single call."""
+        return self.render_listing(self.generate_ir(), base_address=base_address)
+
+
+def generate_family_listing(
+    profile: FamilyProfile, seed: int, base_address: int = 0x401000
+) -> str:
+    """Convenience: one listing for ``profile`` from a fixed seed."""
+    generator = ProgramGenerator(profile, np.random.default_rng(seed))
+    return generator.generate_listing(base_address=base_address)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro (MAGIC) library.
+
+Every error raised on purpose by this library derives from
+:class:`MagicError`, so callers can catch one base class at the pipeline
+boundary and still discriminate finer-grained failures when needed.
+"""
+
+from __future__ import annotations
+
+
+class MagicError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AsmParseError(MagicError):
+    """Raised when an assembly listing cannot be parsed into a program."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class CfgConstructionError(MagicError):
+    """Raised when a control flow graph cannot be built from a program."""
+
+
+class FeatureExtractionError(MagicError):
+    """Raised when block attributes cannot be extracted from a CFG."""
+
+
+class SerializationError(MagicError):
+    """Raised when a CFG or ACFG fails to round-trip through serialization."""
+
+
+class ShapeError(MagicError):
+    """Raised by the neural-network engine on tensor shape mismatches."""
+
+
+class GradientError(MagicError):
+    """Raised when a backward pass is requested on an invalid graph."""
+
+
+class ConfigurationError(MagicError):
+    """Raised when a model or trainer is configured inconsistently."""
+
+
+class DatasetError(MagicError):
+    """Raised when a dataset cannot be generated, loaded, or split."""
+
+
+class TrainingError(MagicError):
+    """Raised when model training cannot proceed (e.g. empty fold)."""

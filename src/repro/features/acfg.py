@@ -1,0 +1,119 @@
+"""Attributed control flow graph (ACFG).
+
+The ACFG is the unit of input to DGCNN: a directed graph abstracted to
+its adjacency matrix ``A`` plus a per-vertex attribute matrix ``X`` of
+shape ``(n, c)`` (Section II-B).  The class also precomputes the
+normalized propagation operator ``D̂^-1 Â`` of Equation (1) so that the
+graph-convolution layers do not repeat the normalization on every
+forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.exceptions import FeatureExtractionError
+from repro.features.attributes import extract_attribute_matrix
+
+
+@dataclass
+class ACFG:
+    """An attributed CFG: ``(A, X)`` plus an optional family label.
+
+    Parameters
+    ----------
+    adjacency:
+        Dense adjacency matrix ``A`` of shape ``(n, n)``; not necessarily
+        symmetric (the CFG is directed).
+    attributes:
+        Attribute matrix ``X`` of shape ``(n, c)``.
+    label:
+        Family label (class index) for supervised training, or ``None``.
+    name:
+        Identifier of the originating sample, for error reporting.
+    """
+
+    adjacency: np.ndarray
+    attributes: np.ndarray
+    label: Optional[int] = None
+    name: str = ""
+    _propagation: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.adjacency = np.asarray(self.adjacency, dtype=np.float64)
+        self.attributes = np.asarray(self.attributes, dtype=np.float64)
+        n = self.adjacency.shape[0]
+        if self.adjacency.ndim != 2 or self.adjacency.shape != (n, n):
+            raise FeatureExtractionError(
+                f"{self.name or 'ACFG'}: adjacency must be square, "
+                f"got {self.adjacency.shape}"
+            )
+        if self.attributes.ndim != 2 or self.attributes.shape[0] != n:
+            raise FeatureExtractionError(
+                f"{self.name or 'ACFG'}: attributes must have one row per "
+                f"vertex ({n}), got {self.attributes.shape}"
+            )
+        if n == 0:
+            raise FeatureExtractionError(
+                f"{self.name or 'ACFG'}: graph has no vertices"
+            )
+        if not np.isfinite(self.attributes).all():
+            raise FeatureExtractionError(
+                f"{self.name or 'ACFG'}: attributes contain NaN/inf"
+            )
+        if not np.isfinite(self.adjacency).all():
+            raise FeatureExtractionError(
+                f"{self.name or 'ACFG'}: adjacency contains NaN/inf"
+            )
+
+    @property
+    def num_vertices(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_attributes(self) -> int:
+        """The number of attribute channels ``c``."""
+        return self.attributes.shape[1]
+
+    @property
+    def num_edges(self) -> int:
+        return int(np.count_nonzero(self.adjacency))
+
+    def augmented_adjacency(self) -> np.ndarray:
+        """``Â = A + I``."""
+        augmented = self.adjacency.copy()
+        np.fill_diagonal(augmented, augmented.diagonal() + 1.0)
+        return augmented
+
+    def propagation_operator(self) -> np.ndarray:
+        """``D̂^-1 Â``, the row-normalized augmented adjacency.
+
+        ``D̂`` is always invertible because the self-loop guarantees every
+        row sum is at least one.  The result is cached: ACFGs are
+        immutable once constructed.
+        """
+        if self._propagation is None:
+            augmented = self.augmented_adjacency()
+            degrees = augmented.sum(axis=1, keepdims=True)
+            self._propagation = augmented / degrees
+        return self._propagation
+
+    @classmethod
+    def from_cfg(
+        cls,
+        cfg: ControlFlowGraph,
+        label: Optional[int] = None,
+    ) -> "ACFG":
+        """Extract an ACFG from a built CFG using the Table I attributes."""
+        return cls(
+            adjacency=cfg.adjacency_matrix(),
+            attributes=extract_attribute_matrix(cfg),
+            label=label,
+            name=cfg.name,
+        )

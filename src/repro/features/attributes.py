@@ -1,0 +1,155 @@
+"""Block-level attribute extraction (Table I of the paper).
+
+Each basic block is summarized by 11 numeric attributes:
+
+From the code sequence (independent of graph structure):
+  0. # Numeric Constants
+  1. # Transfer Instructions
+  2. # Call Instructions
+  3. # Arithmetic Instructions
+  4. # Compare Instructions
+  5. # Mov Instructions
+  6. # Termination Instructions
+  7. # Data Declaration Instructions
+  8. # Total Instructions
+
+From the vertex structure:
+  9. # Offspring, i.e. out-degree
+ 10. # Instructions in the Vertex
+
+"More attributes can be conveniently added" (Section II-B): register an
+extractor with :func:`register_attribute` and every downstream consumer —
+ACFG construction, datasets, models — picks it up through
+:func:`attribute_names` / :func:`extract_block_attributes`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.asm.isa import InstructionCategory
+from repro.cfg.basic_block import BasicBlock
+from repro.cfg.graph import ControlFlowGraph
+from repro.exceptions import FeatureExtractionError
+
+#: Extractor signature: (block, graph) -> float.
+AttributeExtractor = Callable[[BasicBlock, ControlFlowGraph], float]
+
+
+def _count_category(block: BasicBlock, category: InstructionCategory) -> float:
+    return float(sum(1 for inst in block.instructions if inst.category is category))
+
+
+def _numeric_constants(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return float(sum(inst.count_numeric_constants() for inst in block.instructions))
+
+
+def _transfer(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return _count_category(block, InstructionCategory.TRANSFER)
+
+
+def _call(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return _count_category(block, InstructionCategory.CALL)
+
+
+def _arithmetic(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return _count_category(block, InstructionCategory.ARITHMETIC)
+
+
+def _compare(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return _count_category(block, InstructionCategory.COMPARE)
+
+
+def _mov(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return _count_category(block, InstructionCategory.MOV)
+
+
+def _termination(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return _count_category(block, InstructionCategory.TERMINATION)
+
+
+def _data_declaration(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return _count_category(block, InstructionCategory.DATA_DECLARATION)
+
+
+def _total_instructions(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return float(len(block))
+
+
+def _offspring(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return float(graph.out_degree(block))
+
+
+def _vertex_instructions(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return float(len(block))
+
+
+#: Ordered registry of attribute extractors; order defines channel order.
+_REGISTRY: Dict[str, AttributeExtractor] = {
+    "numeric_constants": _numeric_constants,
+    "transfer_instructions": _transfer,
+    "call_instructions": _call,
+    "arithmetic_instructions": _arithmetic,
+    "compare_instructions": _compare,
+    "mov_instructions": _mov,
+    "termination_instructions": _termination,
+    "data_declaration_instructions": _data_declaration,
+    "total_instructions": _total_instructions,
+    "offspring": _offspring,
+    "vertex_instructions": _vertex_instructions,
+}
+
+#: The 11 attributes of Table I, in registry order.
+DEFAULT_ATTRIBUTES: List[str] = list(_REGISTRY)
+
+
+def attribute_names() -> List[str]:
+    """Names of all registered attributes, in channel order."""
+    return list(_REGISTRY)
+
+
+def num_attributes() -> int:
+    """Number of registered attribute channels (``c`` in the paper)."""
+    return len(_REGISTRY)
+
+
+def register_attribute(name: str, extractor: AttributeExtractor) -> None:
+    """Register a custom block attribute.
+
+    The new channel is appended after the existing ones.  Re-registering
+    an existing name is rejected to keep channel order stable.
+    """
+    if name in _REGISTRY:
+        raise FeatureExtractionError(f"attribute {name!r} already registered")
+    _REGISTRY[name] = extractor
+
+
+def unregister_attribute(name: str) -> None:
+    """Remove a previously registered custom attribute."""
+    if name in DEFAULT_ATTRIBUTES:
+        raise FeatureExtractionError(f"cannot remove built-in attribute {name!r}")
+    if name not in _REGISTRY:
+        raise FeatureExtractionError(f"attribute {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def extract_block_attributes(
+    block: BasicBlock, graph: ControlFlowGraph
+) -> np.ndarray:
+    """The attribute vector of one block, shape ``(c,)``."""
+    return np.array(
+        [extractor(block, graph) for extractor in _REGISTRY.values()],
+        dtype=np.float64,
+    )
+
+
+def extract_attribute_matrix(graph: ControlFlowGraph) -> np.ndarray:
+    """The attribute matrix ``X`` of shape ``(n, c)`` in vertex order."""
+    blocks = graph.blocks()
+    if not blocks:
+        raise FeatureExtractionError(
+            f"cannot extract attributes from empty CFG {graph.name!r}"
+        )
+    return np.stack([extract_block_attributes(b, graph) for b in blocks])

@@ -1,0 +1,78 @@
+"""Optional extra block attributes beyond Table I.
+
+Section II-B: "more attributes can be conveniently added to further
+improve malware classification performance."  This module provides a
+curated set of such extras and a one-call switch.  They are *off* by
+default so that the default channel layout matches the paper exactly.
+
+Usage::
+
+    from repro.features.extra_attributes import enable_extended_attributes
+    enable_extended_attributes()          # now c = 11 + 4
+    ...
+    disable_extended_attributes()         # restore the Table I layout
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import List
+
+from repro.cfg.basic_block import BasicBlock
+from repro.cfg.graph import ControlFlowGraph
+from repro.features.attributes import register_attribute, unregister_attribute
+
+
+def _in_degree(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    """Predecessor count: join points and loop headers score high."""
+    return float(graph.in_degree(block))
+
+
+def _mnemonic_entropy(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    """Shannon entropy of the block's mnemonic distribution.
+
+    Junk-code padding repeats a few mnemonics (low entropy); hand-written
+    or compiler-generated code mixes more operations.
+    """
+    if block.is_empty:
+        return 0.0
+    counts = Counter(inst.mnemonic for inst in block.instructions)
+    total = len(block)
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def _unique_mnemonics(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return float(len({inst.mnemonic for inst in block.instructions}))
+
+
+def _operand_count(block: BasicBlock, graph: ControlFlowGraph) -> float:
+    return float(sum(len(inst.operands) for inst in block.instructions))
+
+
+#: Name -> extractor of every extended attribute, in channel order.
+EXTENDED_ATTRIBUTES = {
+    "in_degree": _in_degree,
+    "mnemonic_entropy": _mnemonic_entropy,
+    "unique_mnemonics": _unique_mnemonics,
+    "operand_count": _operand_count,
+}
+
+
+def enable_extended_attributes() -> List[str]:
+    """Register all extended attributes; returns the names added."""
+    added = []
+    for name, extractor in EXTENDED_ATTRIBUTES.items():
+        register_attribute(name, extractor)
+        added.append(name)
+    return added
+
+
+def disable_extended_attributes() -> None:
+    """Unregister the extended attributes, restoring Table I layout."""
+    for name in EXTENDED_ATTRIBUTES:
+        unregister_attribute(name)

@@ -1,0 +1,141 @@
+"""Batch ACFG extraction pipeline.
+
+The paper extracts 10,868 ACFGs in ~17 hours using Python
+multi-threading (Section V-A).  This module reproduces that front half of
+the MAGIC workflow: a pool of workers that turn assembly text (or files,
+or pre-built CFGs) into labelled ACFGs, tolerating individual failures
+(packed samples that defeat disassembly are a fact of life in the Kaggle
+corpus).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cfg.builder import build_cfg_from_text
+from repro.cfg.graph import ControlFlowGraph
+from repro.exceptions import MagicError
+from repro.features.acfg import ACFG
+
+
+@dataclass
+class ExtractionReport:
+    """Outcome of a batch extraction run."""
+
+    acfgs: List[ACFG]
+    failures: List[Tuple[str, str]] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def num_succeeded(self) -> int:
+        return len(self.acfgs)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def seconds_per_sample(self) -> float:
+        total = self.num_succeeded + self.num_failed
+        if total == 0:
+            return 0.0
+        return self.elapsed_seconds / total
+
+
+def _extract_one_from_text(
+    item: Tuple[str, str, Optional[int]]
+) -> ACFG:
+    name, text, label = item
+    cfg = build_cfg_from_text(text, name=name)
+    return ACFG.from_cfg(cfg, label=label)
+
+
+class AcfgPipeline:
+    """Parallel ACFG extraction from assembly text or pre-built CFGs.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread-pool size; ``1`` (the default) runs inline, which is the
+        right choice for small corpora and deterministic tests.
+    """
+
+    def __init__(self, max_workers: int = 1) -> None:
+        if max_workers < 1:
+            raise MagicError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def extract_from_texts(
+        self,
+        samples: Sequence[Tuple[str, str, Optional[int]]],
+    ) -> ExtractionReport:
+        """Extract ACFGs from ``(name, asm_text, label)`` triples.
+
+        Failures are collected per-sample rather than aborting the batch.
+        Result order follows input order for succeeded samples.
+        """
+        return self._run(samples, _extract_one_from_text)
+
+    def extract_from_cfgs(
+        self,
+        samples: Sequence[Tuple[ControlFlowGraph, Optional[int]]],
+    ) -> ExtractionReport:
+        """Extract ACFGs from pre-built CFGs (the YANCFG ingestion path)."""
+        items = [(cfg.name, cfg, label) for cfg, label in samples]
+
+        def worker(item: Tuple[str, ControlFlowGraph, Optional[int]]) -> ACFG:
+            _, cfg, label = item
+            return ACFG.from_cfg(cfg, label=label)
+
+        return self._run(items, worker)
+
+    def _run(
+        self,
+        items: Sequence[Tuple],
+        worker: Callable,
+    ) -> ExtractionReport:
+        started = time.perf_counter()
+        acfgs: List[ACFG] = []
+        failures: List[Tuple[str, str]] = []
+
+        if self.max_workers == 1:
+            for item in items:
+                self._collect(worker, item, acfgs, failures)
+        else:
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.max_workers
+            ) as pool:
+                futures = {
+                    pool.submit(worker, item): item[0] for item in items
+                }
+                results = {}
+                for future in concurrent.futures.as_completed(futures):
+                    name = futures[future]
+                    try:
+                        results[name] = future.result()
+                    except MagicError as exc:
+                        failures.append((name, str(exc)))
+                # Preserve input order among successes.
+                for item in items:
+                    if item[0] in results:
+                        acfgs.append(results[item[0]])
+
+        elapsed = time.perf_counter() - started
+        return ExtractionReport(
+            acfgs=acfgs, failures=failures, elapsed_seconds=elapsed
+        )
+
+    @staticmethod
+    def _collect(
+        worker: Callable,
+        item: Tuple,
+        acfgs: List[ACFG],
+        failures: List[Tuple[str, str]],
+    ) -> None:
+        try:
+            acfgs.append(worker(item))
+        except MagicError as exc:
+            failures.append((item[0], str(exc)))

@@ -1,0 +1,73 @@
+"""Attribute scaling for ACFGs.
+
+Raw Table I attributes are heavy-tailed counts (a dispatcher block may
+hold hundreds of instructions while most hold a handful).  Feeding raw
+counts into tanh graph convolutions saturates them immediately, so MAGIC
+standardizes attributes over the *training* split.  The scaler applies
+``log1p`` first (count data) and then a per-channel z-score.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import FeatureExtractionError
+from repro.features.acfg import ACFG
+
+
+class AttributeScaler:
+    """``log1p`` + per-channel standardization fitted on training ACFGs.
+
+    The scaler must be fitted on the training split only and then applied
+    to both splits — fitting on validation data would leak label-adjacent
+    statistics across the fold boundary.
+    """
+
+    def __init__(self, use_log: bool = True) -> None:
+        self.use_log = use_log
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def _pretransform(self, attributes: np.ndarray) -> np.ndarray:
+        if self.use_log:
+            return np.log1p(np.maximum(attributes, 0.0))
+        return attributes
+
+    def fit(self, acfgs: Sequence[ACFG]) -> "AttributeScaler":
+        if not acfgs:
+            raise FeatureExtractionError("cannot fit a scaler on zero ACFGs")
+        stacked = np.concatenate(
+            [self._pretransform(a.attributes) for a in acfgs], axis=0
+        )
+        self.mean_ = stacked.mean(axis=0)
+        std = stacked.std(axis=0)
+        # Constant channels scale to zero rather than exploding.
+        std[std < 1e-12] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, acfgs: Sequence[ACFG]) -> List[ACFG]:
+        """Scaled copies of ``acfgs``; adjacency and labels are shared."""
+        if not self.is_fitted:
+            raise FeatureExtractionError("scaler used before fit()")
+        transformed = []
+        for acfg in acfgs:
+            scaled = (self._pretransform(acfg.attributes) - self.mean_) / self.std_
+            transformed.append(
+                ACFG(
+                    adjacency=acfg.adjacency,
+                    attributes=scaled,
+                    label=acfg.label,
+                    name=acfg.name,
+                )
+            )
+        return transformed
+
+    def fit_transform(self, acfgs: Sequence[ACFG]) -> List[ACFG]:
+        return self.fit(acfgs).transform(acfgs)

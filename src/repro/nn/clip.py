@@ -1,0 +1,36 @@
+"""Gradient clipping.
+
+Graph convolutions over high-degree dispatch blocks can occasionally
+produce large gradients early in training; global-norm clipping (the
+standard remedy) caps the update magnitude without changing its
+direction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Parameter
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.  Parameters without gradients are
+    ignored; if nothing has a gradient the norm is 0 and nothing
+    changes.
+    """
+    if max_norm <= 0:
+        raise ConfigurationError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    with_grads = [p for p in parameters if p.grad is not None]
+    for param in with_grads:
+        total += float((param.grad ** 2).sum())
+    norm = math.sqrt(total)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in with_grads:
+            param.grad = param.grad * scale
+    return norm

@@ -1,0 +1,50 @@
+"""Weight initialization schemes.
+
+Matches the defaults the paper's PyTorch implementation inherits:
+Glorot/Xavier uniform for graph-convolution and linear weights, Kaiming
+uniform for convolutions, zeros for biases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform: ``U(-a, a)`` with ``a = sqrt(6 / (fan_in + fan_out))``."""
+    fan_in, fan_out = _fans(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """He/Kaiming uniform for ReLU networks: ``U(-a, a)``, ``a = sqrt(6 / fan_in)``."""
+    fan_in, _ = _fans(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        # (in, out) orientation, as used by Linear / graph conv weights.
+        return shape[0], shape[1]
+    # Convolution weights: (out_channels, in_channels, *kernel).
+    receptive = 1
+    for dim in shape[2:]:
+        receptive *= dim
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out

@@ -1,0 +1,47 @@
+"""Loss functions.
+
+Equation (5) of the paper: mean negative log-likelihood over the dataset,
+``L = -(1/N) * sum_i sum_c y_ic * log(p_ic)``.  (The paper's equation
+omits the minus sign and the 1/N, but describes minimizing the "mean
+negative logarithmic loss"; we implement the standard form.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood from log-probabilities.
+
+    Parameters
+    ----------
+    log_probs:
+        ``(N, C)`` log-probabilities (e.g. output of a log-softmax head).
+    targets:
+        ``(N,)`` integer class labels.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if log_probs.ndim != 2:
+        raise ShapeError(f"nll_loss expects (N, C) log-probs, got {log_probs.shape}")
+    n, c = log_probs.shape
+    if targets.shape != (n,):
+        raise ShapeError(
+            f"targets shape {targets.shape} does not match batch size {n}"
+        )
+    if targets.min() < 0 or targets.max() >= c:
+        raise ShapeError(
+            f"target labels must be in [0, {c}), got range "
+            f"[{targets.min()}, {targets.max()}]"
+        )
+    picked = log_probs[np.arange(n), targets]
+    return -(picked.sum() * (1.0 / n))
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy from raw logits."""
+    return nll_loss(F.log_softmax(logits, axis=-1), targets)

@@ -1,0 +1,69 @@
+"""Learning-rate scheduling.
+
+Section V-B: "Once the validation loss increases for two continuous
+epochs, we decrease the learning rate by a factor of ten to prevent the
+model from overfitting."  :class:`ReduceLROnPlateau` implements exactly
+that rule (``patience=2`` consecutive increases, ``factor=0.1``).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.nn.optim import Optimizer
+
+
+class ReduceLROnPlateau:
+    """Divide the LR by ``1/factor`` after ``patience`` consecutive increases.
+
+    Parameters
+    ----------
+    optimizer:
+        The optimizer whose ``lr`` is managed.
+    factor:
+        Multiplier applied on trigger (paper: 0.1).
+    patience:
+        Number of *consecutive* epochs with increasing monitored loss that
+        trigger a decay (paper: 2).
+    min_lr:
+        Floor below which the LR is never reduced.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.1,
+        patience: int = 2,
+        min_lr: float = 1e-8,
+    ) -> None:
+        if not 0.0 < factor < 1.0:
+            raise ConfigurationError(f"factor must be in (0, 1), got {factor}")
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self._previous_loss: float = float("inf")
+        self._consecutive_increases = 0
+        self.num_reductions = 0
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+    def step(self, loss: float) -> bool:
+        """Record an epoch's validation loss; returns ``True`` on decay."""
+        increased = loss > self._previous_loss
+        self._previous_loss = loss
+        if increased:
+            self._consecutive_increases += 1
+        else:
+            self._consecutive_increases = 0
+        if self._consecutive_increases >= self.patience:
+            self._consecutive_increases = 0
+            new_lr = max(self.optimizer.lr * self.factor, self.min_lr)
+            if new_lr < self.optimizer.lr:
+                self.optimizer.lr = new_lr
+                self.num_reductions += 1
+                return True
+        return False

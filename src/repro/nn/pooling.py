@@ -1,0 +1,34 @@
+"""Pooling layer modules wrapping the functional implementations."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+class MaxPool2d(Module):
+    """Fixed-kernel max pooling."""
+
+    def __init__(self, kernel_size: F.IntPair, stride: F.IntPair = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AdaptiveMaxPool2d(Module):
+    """Adaptive max pooling to a fixed ``(H, W)`` output grid.
+
+    The AMP layer of Section III-C: inputs of any spatial size are pooled
+    into the same output grid by adapting window sizes per input.
+    """
+
+    def __init__(self, output_size: F.IntPair) -> None:
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.adaptive_max_pool2d(x, self.output_size)

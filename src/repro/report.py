@@ -1,0 +1,110 @@
+"""Terminal-friendly reporting helpers.
+
+The paper's Figures 7-11 are bar charts.  The benchmark suite and the
+examples render them as aligned ASCII bars so a headless reproduction
+still *shows* the figures, not just their numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    fmt: str = "{:.3f}",
+    sort: bool = False,
+) -> str:
+    """Render a labelled horizontal bar chart.
+
+    Parameters
+    ----------
+    values:
+        Label -> value.  Values may be counts or scores; bars scale to
+        the maximum.
+    width:
+        Character width of the longest bar.
+    fmt:
+        Format applied to the numeric value column.
+    sort:
+        Sort bars by value descending (Figures 7/8 keep family order, so
+        the default is insertion order).
+    """
+    items: List[Tuple[str, float]] = list(values.items())
+    if sort:
+        items.sort(key=lambda kv: -kv[1])
+    if not items:
+        return title
+    label_width = max(len(label) for label, _ in items)
+    peak = max((value for _, value in items), default=0.0)
+    scale = width / peak if peak > 0 else 0.0
+    lines = [title] if title else []
+    for label, value in items:
+        bar = "#" * max(0, int(round(value * scale)))
+        lines.append(f"{label:<{label_width}}  {fmt.format(value):>9} {bar}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 40,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render series side by side per label (Figure 9/10 style).
+
+    ``groups`` maps series name -> (label -> value); all series should
+    share labels.
+    """
+    series_names = list(groups)
+    if not series_names:
+        return title
+    labels = list(groups[series_names[0]])
+    label_width = max((len(label) for label in labels), default=0)
+    peak = max(
+        (value for series in groups.values() for value in series.values()),
+        default=0.0,
+    )
+    scale = width / peak if peak > 0 else 0.0
+    lines = [title] if title else []
+    glyphs = "#*+o@"
+    for label in labels:
+        for index, series_name in enumerate(series_names):
+            value = groups[series_name].get(label, 0.0)
+            bar = glyphs[index % len(glyphs)] * max(0, int(round(value * scale)))
+            prefix = label if index == 0 else ""
+            lines.append(
+                f"{prefix:<{label_width}}  {series_name:>10} "
+                f"{fmt.format(value):>9} {bar}"
+            )
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series_names)
+    )
+    lines.append(f"({legend})")
+    return "\n".join(lines)
+
+
+def delta_chart(
+    deltas: Mapping[str, float],
+    title: str = "",
+    width: int = 30,
+    fmt: str = "{:+.3f}",
+) -> str:
+    """Render signed improvements around a zero axis (Figure 11 style)."""
+    items = list(deltas.items())
+    if not items:
+        return title
+    label_width = max(len(label) for label, _ in items)
+    peak = max((abs(value) for _, value in items), default=0.0)
+    scale = width / peak if peak > 0 else 0.0
+    lines = [title] if title else []
+    for label, value in items:
+        magnitude = max(0, int(round(abs(value) * scale)))
+        if value >= 0:
+            bar = " " * width + "|" + "+" * magnitude
+        else:
+            bar = " " * (width - magnitude) + "-" * magnitude + "|"
+        lines.append(f"{label:<{label_width}} {fmt.format(value):>8} {bar}")
+    return "\n".join(lines)

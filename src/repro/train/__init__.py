@@ -1,0 +1,59 @@
+"""Training harness: loop, CV, grid search, metrics (Section V-B)."""
+
+from repro.train.analysis import (
+    ConfusionPair,
+    format_confusions,
+    hardest_families,
+    top_confusions,
+)
+from repro.train.batching import iterate_minibatches
+from repro.train.cross_validation import (
+    CrossValidationResult,
+    cross_validate,
+)
+from repro.train.hyperparameter import (
+    GridSearch,
+    GridSearchEntry,
+    GridSearchResult,
+    HyperparameterSetting,
+    amp_grid_from_ratio,
+    setting_to_model_config,
+    table2_grid,
+)
+from repro.train.metrics import (
+    ClassificationReport,
+    ClassScores,
+    average_reports,
+    confusion_matrix,
+    evaluate_predictions,
+    log_loss,
+    precision_recall_f1,
+)
+from repro.train.trainer import Trainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "ClassScores",
+    "ClassificationReport",
+    "ConfusionPair",
+    "format_confusions",
+    "hardest_families",
+    "top_confusions",
+    "CrossValidationResult",
+    "GridSearch",
+    "GridSearchEntry",
+    "GridSearchResult",
+    "HyperparameterSetting",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "amp_grid_from_ratio",
+    "average_reports",
+    "confusion_matrix",
+    "cross_validate",
+    "evaluate_predictions",
+    "iterate_minibatches",
+    "log_loss",
+    "precision_recall_f1",
+    "setting_to_model_config",
+    "table2_grid",
+]

@@ -1,0 +1,81 @@
+"""Post-hoc analysis of classification results.
+
+Turns a confusion matrix into the artifacts an analyst reads first:
+which family pairs get confused (the Ramnit/Obfuscator.ACY and
+Rbot/Sdbot stories of Sections V-C/V-D), and which families are hardest
+overall.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.train.metrics import ClassificationReport
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfusionPair:
+    """One directed confusion: ``count`` samples of ``true`` predicted as
+    ``predicted``, which is ``rate`` of the true family's support."""
+
+    true_family: str
+    predicted_family: str
+    count: int
+    rate: float
+
+
+def top_confusions(
+    report: ClassificationReport, limit: int = 10
+) -> List[ConfusionPair]:
+    """The most frequent off-diagonal confusions, by count."""
+    if report.family_names is None:
+        raise TrainingError("report carries no family names")
+    confusion = np.asarray(report.confusion)
+    names = report.family_names
+    pairs: List[ConfusionPair] = []
+    row_sums = confusion.sum(axis=1)
+    for i in range(confusion.shape[0]):
+        for j in range(confusion.shape[1]):
+            if i == j or confusion[i, j] == 0:
+                continue
+            pairs.append(
+                ConfusionPair(
+                    true_family=names[i],
+                    predicted_family=names[j],
+                    count=int(confusion[i, j]),
+                    rate=float(confusion[i, j] / row_sums[i]) if row_sums[i] else 0.0,
+                )
+            )
+    pairs.sort(key=lambda p: (-p.count, -p.rate))
+    return pairs[:limit]
+
+
+def hardest_families(
+    report: ClassificationReport, limit: Optional[int] = None
+) -> List[str]:
+    """Family names ordered by ascending F1 (hardest first)."""
+    if report.family_names is None:
+        raise TrainingError("report carries no family names")
+    ranked = sorted(
+        zip(report.family_names, report.per_class), key=lambda kv: kv[1].f1
+    )
+    names = [name for name, _ in ranked]
+    return names[:limit] if limit is not None else names
+
+
+def format_confusions(pairs: Sequence[ConfusionPair]) -> str:
+    """Human-readable rendering of :func:`top_confusions` output."""
+    if not pairs:
+        return "(no confusions)"
+    width = max(len(p.true_family) for p in pairs)
+    lines = []
+    for pair in pairs:
+        lines.append(
+            f"{pair.true_family:<{width}} -> {pair.predicted_family:<{width}}"
+            f"  {pair.count:4d} samples ({pair.rate:5.1%} of family)"
+        )
+    return "\n".join(lines)

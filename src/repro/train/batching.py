@@ -1,0 +1,32 @@
+"""Mini-batch iteration over ACFG lists."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.features.acfg import ACFG
+
+
+def iterate_minibatches(
+    acfgs: Sequence[ACFG],
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+    shuffle: bool = True,
+) -> Iterator[List[ACFG]]:
+    """Yield batches of ACFGs; the final partial batch is kept.
+
+    The paper trains with stochastic gradient descent "in a batch mode"
+    with batch sizes 10 or 40 (Table II).
+    """
+    if batch_size < 1:
+        raise TrainingError(f"batch_size must be >= 1, got {batch_size}")
+    indices = np.arange(len(acfgs))
+    if shuffle:
+        generator = rng if rng is not None else np.random.default_rng()
+        generator.shuffle(indices)
+    for start in range(0, len(indices), batch_size):
+        chunk = indices[start : start + batch_size]
+        yield [acfgs[i] for i in chunk]

@@ -1,0 +1,100 @@
+"""Five-fold cross validation (Section V-B).
+
+"In each fold of the cross validation, four subsets (80%) of the data are
+used for training a brand new model initialized randomly, and the rest
+subset ... is used to evaluate the resultant model."  The per-epoch
+validation losses are averaged across folds and the minimum over epochs
+is the model's *score*, which hyper-parameter search compares.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.loader import MalwareDataset
+from repro.exceptions import TrainingError
+from repro.features.scaling import AttributeScaler
+from repro.nn.layers import Module
+from repro.train.metrics import ClassificationReport, average_reports
+from repro.train.trainer import Trainer, TrainingConfig, TrainingHistory
+
+#: A factory producing a freshly initialized model for each fold.
+ModelFactory = Callable[[int], Module]
+
+
+@dataclasses.dataclass
+class CrossValidationResult:
+    """Everything the paper's evaluation extracts from a CV run."""
+
+    fold_histories: List[TrainingHistory]
+    fold_reports: List[ClassificationReport]
+    averaged_report: ClassificationReport
+    epoch_validation_losses: np.ndarray
+
+    @property
+    def score(self) -> float:
+        """Minimum fold-averaged validation loss (the Table II criterion)."""
+        return float(self.epoch_validation_losses.min())
+
+    @property
+    def accuracy(self) -> float:
+        return self.averaged_report.accuracy
+
+    @property
+    def log_loss(self) -> float:
+        return self.averaged_report.log_loss
+
+
+def cross_validate(
+    model_factory: ModelFactory,
+    dataset: MalwareDataset,
+    training_config: TrainingConfig,
+    n_splits: int = 5,
+    scale_attributes: bool = True,
+    seed: int = 0,
+) -> CrossValidationResult:
+    """Run stratified k-fold CV; returns per-fold and averaged results.
+
+    The attribute scaler is fitted on each fold's *training* split only,
+    so "the training process never sees the testing samples".
+    """
+    histories: List[TrainingHistory] = []
+    reports: List[ClassificationReport] = []
+
+    for fold_index, (train_idx, val_idx) in enumerate(
+        dataset.stratified_kfold(n_splits=n_splits, seed=seed)
+    ):
+        train_acfgs = [dataset.acfgs[i] for i in train_idx]
+        val_acfgs = [dataset.acfgs[i] for i in val_idx]
+        if scale_attributes:
+            scaler = AttributeScaler()
+            train_acfgs = scaler.fit_transform(train_acfgs)
+            val_acfgs = scaler.transform(val_acfgs)
+
+        model = model_factory(fold_index)
+        trainer = Trainer(
+            dataclasses.replace(training_config, seed=training_config.seed + fold_index)
+        )
+        history = trainer.train(model, train_acfgs, val_acfgs)
+        histories.append(history)
+        reports.append(
+            Trainer.evaluate(model, val_acfgs, family_names=dataset.family_names)
+        )
+
+    if not histories:
+        raise TrainingError("cross validation produced no folds")
+    lengths = {h.num_epochs for h in histories}
+    if len(lengths) != 1:
+        raise TrainingError(f"folds trained for differing epoch counts: {lengths}")
+    per_epoch = np.mean(
+        [history.validation_losses for history in histories], axis=0
+    )
+    return CrossValidationResult(
+        fold_histories=histories,
+        fold_reports=reports,
+        averaged_report=average_reports(reports),
+        epoch_validation_losses=per_epoch,
+    )

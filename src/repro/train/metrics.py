@@ -1,0 +1,173 @@
+"""Classification metrics (Section V-B/C/D).
+
+The paper reports per-family precision, recall and F1 (Tables III and V),
+overall accuracy, and mean negative log-likelihood ("logarithmic loss",
+Table IV).  All metrics are computed from scratch here — no sklearn in
+this environment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """``C[i, j]``: samples of true class ``i`` predicted as class ``j``."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise TrainingError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+@dataclasses.dataclass
+class ClassScores:
+    """Precision/recall/F1 of one family."""
+
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+@dataclasses.dataclass
+class ClassificationReport:
+    """Everything the paper's evaluation tables need."""
+
+    per_class: List[ClassScores]
+    accuracy: float
+    log_loss: float
+    confusion: np.ndarray
+    family_names: Optional[List[str]] = None
+
+    @property
+    def macro_f1(self) -> float:
+        return float(np.mean([c.f1 for c in self.per_class]))
+
+    @property
+    def weighted_f1(self) -> float:
+        supports = np.array([c.support for c in self.per_class], dtype=np.float64)
+        if supports.sum() == 0:
+            return 0.0
+        f1s = np.array([c.f1 for c in self.per_class])
+        return float((f1s * supports).sum() / supports.sum())
+
+    def scores_by_family(self) -> Dict[str, ClassScores]:
+        if self.family_names is None:
+            raise TrainingError("report carries no family names")
+        return dict(zip(self.family_names, self.per_class))
+
+    def format_table(self) -> str:
+        """Render in the layout of Table III / Table V."""
+        names = self.family_names or [
+            f"class_{i}" for i in range(len(self.per_class))
+        ]
+        width = max(len(n) for n in names) + 2
+        lines = [
+            f"{'Family':<{width}}{'Precision':>10}{'Recall':>10}{'F1':>10}{'N':>7}"
+        ]
+        for name, scores in zip(names, self.per_class):
+            lines.append(
+                f"{name:<{width}}{scores.precision:>10.6f}"
+                f"{scores.recall:>10.6f}{scores.f1:>10.6f}{scores.support:>7d}"
+            )
+        lines.append(
+            f"{'(overall)':<{width}}accuracy={self.accuracy:.4f}  "
+            f"log_loss={self.log_loss:.4f}  macro_f1={self.macro_f1:.4f}"
+        )
+        return "\n".join(lines)
+
+
+def precision_recall_f1(
+    confusion: np.ndarray,
+) -> List[ClassScores]:
+    """Per-class scores from a confusion matrix; 0/0 cases score 0."""
+    num_classes = confusion.shape[0]
+    scores = []
+    for c in range(num_classes):
+        tp = float(confusion[c, c])
+        predicted = float(confusion[:, c].sum())
+        actual = float(confusion[c, :].sum())
+        precision = tp / predicted if predicted > 0 else 0.0
+        recall = tp / actual if actual > 0 else 0.0
+        denominator = precision + recall
+        f1 = 2 * precision * recall / denominator if denominator > 0 else 0.0
+        scores.append(
+            ClassScores(
+                precision=precision, recall=recall, f1=f1, support=int(actual)
+            )
+        )
+    return scores
+
+
+def log_loss(y_true: np.ndarray, probabilities: np.ndarray, eps: float = 1e-15) -> float:
+    """Mean negative log-likelihood of the true labels."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 2 or probabilities.shape[0] != y_true.shape[0]:
+        raise TrainingError(
+            f"probabilities shape {probabilities.shape} does not match "
+            f"{y_true.shape[0]} labels"
+        )
+    clipped = np.clip(probabilities[np.arange(len(y_true)), y_true], eps, 1.0)
+    return float(-np.log(clipped).mean())
+
+
+def evaluate_predictions(
+    y_true: np.ndarray,
+    probabilities: np.ndarray,
+    num_classes: int,
+    family_names: Optional[Sequence[str]] = None,
+) -> ClassificationReport:
+    """Build a full report from predicted class probabilities."""
+    y_pred = np.asarray(probabilities).argmax(axis=1)
+    confusion = confusion_matrix(y_true, y_pred, num_classes)
+    per_class = precision_recall_f1(confusion)
+    accuracy = float((y_pred == np.asarray(y_true)).mean()) if len(y_true) else 0.0
+    return ClassificationReport(
+        per_class=per_class,
+        accuracy=accuracy,
+        log_loss=log_loss(y_true, probabilities),
+        confusion=confusion,
+        family_names=list(family_names) if family_names is not None else None,
+    )
+
+
+def average_reports(reports: Sequence[ClassificationReport]) -> ClassificationReport:
+    """Average per-class scores and overall metrics across CV folds.
+
+    Mirrors the paper's protocol: "we also measure its precision, recall,
+    and F1 score averaged over the five validation sets".  Confusion
+    matrices are summed.
+    """
+    if not reports:
+        raise TrainingError("cannot average zero reports")
+    num_classes = len(reports[0].per_class)
+    per_class = []
+    for c in range(num_classes):
+        per_class.append(
+            ClassScores(
+                precision=float(np.mean([r.per_class[c].precision for r in reports])),
+                recall=float(np.mean([r.per_class[c].recall for r in reports])),
+                f1=float(np.mean([r.per_class[c].f1 for r in reports])),
+                support=int(sum(r.per_class[c].support for r in reports)),
+            )
+        )
+    return ClassificationReport(
+        per_class=per_class,
+        accuracy=float(np.mean([r.accuracy for r in reports])),
+        log_loss=float(np.mean([r.log_loss for r in reports])),
+        confusion=np.sum([r.confusion for r in reports], axis=0),
+        family_names=reports[0].family_names,
+    )

@@ -1,0 +1,104 @@
+"""Tests for the instruction taxonomy (Table I categories)."""
+
+from repro.asm.isa import (
+    ARITHMETICS,
+    CALLS,
+    COMPARES,
+    CONDITIONAL_JUMPS,
+    DATA_DECLARATIONS,
+    MOVS,
+    RETURNS,
+    TERMINATIONS,
+    TRANSFERS,
+    UNCONDITIONAL_JUMPS,
+    ControlFlowKind,
+    InstructionCategory,
+    categorize,
+    control_flow_kind,
+)
+
+
+class TestCategorize:
+    def test_mov_family(self):
+        for mnemonic in ("mov", "movzx", "lea", "xchg"):
+            assert categorize(mnemonic) is InstructionCategory.MOV
+
+    def test_arithmetic_family(self):
+        for mnemonic in ("add", "sub", "xor", "imul", "shl", "inc"):
+            assert categorize(mnemonic) is InstructionCategory.ARITHMETIC
+
+    def test_compare_family(self):
+        for mnemonic in ("cmp", "test", "scasb"):
+            assert categorize(mnemonic) is InstructionCategory.COMPARE
+
+    def test_call_is_call_not_transfer(self):
+        assert categorize("call") is InstructionCategory.CALL
+
+    def test_jumps_count_as_transfers(self):
+        assert categorize("jmp") is InstructionCategory.TRANSFER
+        assert categorize("jnz") is InstructionCategory.TRANSFER
+        assert categorize("loop") is InstructionCategory.TRANSFER
+
+    def test_stack_operations_are_transfers(self):
+        for mnemonic in ("push", "pop", "leave", "enter"):
+            assert categorize(mnemonic) is InstructionCategory.TRANSFER
+
+    def test_return_is_termination(self):
+        assert categorize("retn") is InstructionCategory.TERMINATION
+        assert categorize("ret") is InstructionCategory.TERMINATION
+        assert categorize("hlt") is InstructionCategory.TERMINATION
+
+    def test_data_declarations(self):
+        for mnemonic in ("db", "dd", "dw", "align"):
+            assert categorize(mnemonic) is InstructionCategory.DATA_DECLARATION
+
+    def test_unknown_mnemonic_is_other(self):
+        assert categorize("frobnicate") is InstructionCategory.OTHER
+
+    def test_case_insensitive(self):
+        assert categorize("MOV") is InstructionCategory.MOV
+        assert categorize("Jmp") is InstructionCategory.TRANSFER
+
+
+class TestControlFlowKind:
+    def test_conditional_jumps(self):
+        for mnemonic in ("jz", "jnz", "ja", "jle", "loop", "jecxz"):
+            assert control_flow_kind(mnemonic) is ControlFlowKind.CONDITIONAL_JUMP
+
+    def test_unconditional_jump(self):
+        assert control_flow_kind("jmp") is ControlFlowKind.UNCONDITIONAL_JUMP
+
+    def test_call(self):
+        assert control_flow_kind("call") is ControlFlowKind.CALL
+
+    def test_return(self):
+        for mnemonic in ("ret", "retn", "retf"):
+            assert control_flow_kind(mnemonic) is ControlFlowKind.RETURN
+
+    def test_terminate(self):
+        assert control_flow_kind("hlt") is ControlFlowKind.TERMINATE
+        assert control_flow_kind("int3") is ControlFlowKind.TERMINATE
+
+    def test_sequential_default(self):
+        for mnemonic in ("mov", "add", "cmp", "push", "nop"):
+            assert control_flow_kind(mnemonic) is ControlFlowKind.SEQUENTIAL
+
+
+class TestTableConsistency:
+    def test_no_overlap_between_jump_classes(self):
+        assert not CONDITIONAL_JUMPS & UNCONDITIONAL_JUMPS
+        assert not CONDITIONAL_JUMPS & CALLS
+        assert not UNCONDITIONAL_JUMPS & CALLS
+
+    def test_returns_are_terminations(self):
+        assert RETURNS <= TERMINATIONS
+
+    def test_jumps_are_transfers(self):
+        assert CONDITIONAL_JUMPS <= TRANSFERS
+        assert UNCONDITIONAL_JUMPS <= TRANSFERS
+
+    def test_category_tables_disjoint_where_required(self):
+        assert not MOVS & ARITHMETICS
+        assert not MOVS & COMPARES
+        assert not ARITHMETICS & COMPARES
+        assert not DATA_DECLARATIONS & TRANSFERS

@@ -1,0 +1,77 @@
+"""Tests for the Program address map."""
+
+import pytest
+
+from repro.asm.instruction import Instruction
+from repro.asm.program import Program
+from repro.exceptions import AsmParseError
+
+
+def make_program(addresses):
+    return Program(
+        Instruction(address=a, mnemonic="nop", size=1) for a in addresses
+    )
+
+
+class TestProgramBasics:
+    def test_len_and_contains(self):
+        program = make_program([0x10, 0x11, 0x12])
+        assert len(program) == 3
+        assert 0x11 in program
+        assert 0x13 not in program
+
+    def test_duplicate_address_rejected(self):
+        program = make_program([0x10])
+        with pytest.raises(AsmParseError):
+            program.add(Instruction(address=0x10, mnemonic="mov"))
+
+    def test_iteration_sorted_regardless_of_insertion_order(self):
+        program = make_program([0x30, 0x10, 0x20])
+        assert [inst.address for inst in program] == [0x10, 0x20, 0x30]
+
+    def test_getitem_and_get(self):
+        program = make_program([0x10])
+        assert program[0x10].address == 0x10
+        assert program.get(0x99) is None
+        with pytest.raises(KeyError):
+            program[0x99]
+
+    def test_first_of_empty_is_none(self):
+        assert Program().first() is None
+
+    def test_first(self):
+        program = make_program([0x30, 0x10])
+        assert program.first().address == 0x10
+
+
+class TestNextInstruction:
+    def test_contiguous(self):
+        program = make_program([0x10, 0x11])
+        nxt = program.next_instruction(program[0x10])
+        assert nxt.address == 0x11
+
+    def test_gap_between_sections(self):
+        program = Program([
+            Instruction(address=0x10, mnemonic="nop", size=1),
+            Instruction(address=0x100, mnemonic="nop", size=1),
+        ])
+        nxt = program.next_instruction(program[0x10])
+        assert nxt.address == 0x100
+
+    def test_last_instruction_has_no_next(self):
+        program = make_program([0x10])
+        assert program.next_instruction(program[0x10]) is None
+
+
+class TestNearestAtOrAfter:
+    def test_exact_hit(self):
+        program = make_program([0x10, 0x20])
+        assert program.nearest_at_or_after(0x20).address == 0x20
+
+    def test_snaps_forward(self):
+        program = make_program([0x10, 0x20])
+        assert program.nearest_at_or_after(0x15).address == 0x20
+
+    def test_past_the_end_is_none(self):
+        program = make_program([0x10])
+        assert program.nearest_at_or_after(0x999) is None

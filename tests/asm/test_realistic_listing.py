@@ -1,0 +1,98 @@
+"""Regression test: a realistic IDA Pro-style listing excerpt.
+
+Modelled on the Kaggle corpus format: section prefixes, encoded bytes,
+data declarations, alignment directives, comments, labels, and noise
+lines that real listings contain.
+"""
+
+from repro.asm.parser import AsmParser
+from repro.cfg.builder import CfgBuilder
+from repro.features.acfg import ACFG
+
+REALISTIC = """
+; ---------------------------------------------------------------------------
+; Segment type: Pure code
+.text:00401000 ; =============== S U B R O U T I N E =======================
+.text:00401000
+.text:00401000 sub_401000:
+.text:00401000 55                       push ebp
+.text:00401001 8B EC                    mov ebp, esp
+.text:00401003 83 EC 10                 sub esp, 10h
+.text:00401006 C7 45 FC 00 00 00 00     mov [ebp-4], 0
+.text:0040100D
+.text:0040100D loc_40100D:
+.text:0040100D 8B 45 FC                 mov eax, [ebp-4]
+.text:00401010 83 F8 0A                 cmp eax, 0Ah
+.text:00401013 7D 0B                    jge short loc_401020
+.text:00401015 8B 4D FC                 mov ecx, [ebp-4]
+.text:00401018 83 C1 01                 add ecx, 1
+.text:0040101B 89 4D FC                 mov [ebp-4], ecx
+.text:0040101E EB ED                    jmp short loc_40100D
+.text:00401020
+.text:00401020 loc_401020:
+.text:00401020 E8 0B 00 00 00           call sub_401030
+.text:00401025 8B E5                    mov esp, ebp
+.text:00401027 5D                       pop ebp
+.text:00401028 C3                       retn
+.text:00401028 sub_401000 endp
+.text:00401029 CC CC CC CC CC CC CC     align 10h
+.text:00401030 33 C0                    xor eax, eax
+.text:00401032 C3                       retn
+.data:00403000 68 65 6C 6C 6F           aGreeting db 'hello',0
+.data:00403005 00 00 00                 db 3 dup(0)
+"""
+
+
+class TestRealisticListing:
+    def setup_method(self):
+        self.parser = AsmParser()
+        self.program = self.parser.parse(REALISTIC)
+
+    def test_instructions_parsed(self):
+        mnemonics = [inst.mnemonic for inst in self.program]
+        assert "push" in mnemonics
+        assert "jge" in mnemonics
+        assert "call" in mnemonics
+        # Data declarations survive as instructions (Table I counts them).
+        assert "db" in mnemonics or "align" in mnemonics
+
+    def test_labels_resolve(self):
+        assert self.parser.resolve_target("loc_40100D") == 0x40100D
+        assert self.parser.resolve_target("short loc_401020") == 0x401020
+        assert self.parser.resolve_target("sub_401030") == 0x401030
+
+    def test_cfg_structure(self):
+        builder = CfgBuilder(resolve_target=self.parser.resolve_target)
+        cfg = builder.build(self.program, name="realistic")
+        starts = [b.start_address for b in cfg.blocks()]
+        # The loop header and exit label must start blocks.
+        assert 0x40100D in starts
+        assert 0x401020 in starts
+        edges = set(cfg.edges())
+        # Back edge of the counting loop (jmp short loc_40100D).
+        assert (0x401015, 0x40100D) in edges
+        # Conditional exit from the loop header block.
+        assert (0x40100D, 0x401020) in edges
+        # Call edge into the helper.
+        assert (0x401020, 0x401030) in edges
+
+    def test_acfg_extraction(self):
+        builder = CfgBuilder(resolve_target=self.parser.resolve_target)
+        cfg = builder.build(self.program)
+        acfg = ACFG.from_cfg(cfg)
+        assert acfg.num_attributes == 11
+        # The loop-test block (cmp/jge) must count one compare.
+        index = {b.start_address: i for i, b in enumerate(cfg.blocks())}
+        compare_channel = 4  # Table I order
+        assert acfg.attributes[index[0x40100D], compare_channel] >= 1
+
+    def test_call_graph(self):
+        from repro.callgraph.extraction import extract_call_graph
+
+        graph = extract_call_graph(
+            self.program, self.parser.resolve_target, name="realistic"
+        )
+        entries = [f.entry_address for f in graph.functions()]
+        assert 0x401000 in entries
+        assert 0x401030 in entries
+        assert (0x401000, 0x401030) in graph.edges()

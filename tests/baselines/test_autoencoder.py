@@ -1,0 +1,53 @@
+"""Tests for the autoencoder + GBT pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.autoencoder import AutoencoderGbtClassifier, DenseAutoencoder
+from repro.exceptions import TrainingError
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+class TestDenseAutoencoder:
+    def test_shapes(self):
+        ae = DenseAutoencoder(10, hidden_sizes=(6, 3), seed=0)
+        assert ae.code_size == 3
+        out = ae(Tensor(np.zeros((4, 10))))
+        assert out.shape == (4, 10)
+        assert ae.encode(np.zeros((4, 10))).shape == (4, 3)
+
+    def test_reconstruction_improves_with_training(self, rng):
+        data = rng.standard_normal((60, 8)) @ rng.standard_normal((8, 8)) * 0.3
+        ae = DenseAutoencoder(8, hidden_sizes=(4,), seed=0)
+        x = Tensor(data)
+        initial = ((ae(x) - x) ** 2).mean().item()
+        optimizer = Adam(ae.parameters(), lr=1e-2)
+        for _ in range(120):
+            optimizer.zero_grad()
+            loss = ((ae(x) - x) ** 2).mean()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.5 * initial
+
+    def test_needs_hidden_layers(self):
+        with pytest.raises(TrainingError):
+            DenseAutoencoder(4, hidden_sizes=())
+
+
+class TestPipeline:
+    def test_learns_blobs(self, rng):
+        x = np.concatenate([
+            rng.standard_normal((25, 6)) + 3 * label for label in range(2)
+        ])
+        y = np.repeat([0, 1], 25)
+        clf = AutoencoderGbtClassifier(
+            num_classes=2, hidden_sizes=(4, 2), ae_epochs=40,
+            gbt_rounds=15, seed=0,
+        ).fit(x, y)
+        assert (clf.predict(x) == y).mean() > 0.9
+        np.testing.assert_allclose(clf.predict_proba(x).sum(axis=1), 1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(TrainingError):
+            AutoencoderGbtClassifier(num_classes=2).predict(np.zeros((1, 4)))

@@ -1,0 +1,87 @@
+"""Tests for the CART trees."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.decision_tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+)
+from repro.exceptions import TrainingError
+
+
+class TestClassifier:
+    def test_fits_axis_aligned_split(self):
+        x = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        tree = DecisionTreeClassifier(num_classes=2, max_depth=2).fit(x, y)
+        np.testing.assert_array_equal(tree.predict(x), y)
+
+    def test_xor_needs_depth_two(self):
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        shallow = DecisionTreeClassifier(num_classes=2, max_depth=1).fit(x, y)
+        deep = DecisionTreeClassifier(num_classes=2, max_depth=3).fit(x, y)
+        assert (shallow.predict(x) == y).mean() <= 0.75
+        np.testing.assert_array_equal(deep.predict(x), y)
+
+    def test_predict_proba_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((40, 3))
+        y = rng.integers(0, 3, 40)
+        tree = DecisionTreeClassifier(num_classes=3, max_depth=4).fit(x, y)
+        proba = tree.predict_proba(x)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_min_samples_leaf_respected(self):
+        x = np.arange(10, dtype=float)[:, None]
+        y = np.array([0] * 5 + [1] * 5)
+        tree = DecisionTreeClassifier(
+            num_classes=2, max_depth=10, min_samples_leaf=5
+        ).fit(x, y)
+        # Only one split possible: at the class boundary.
+        np.testing.assert_array_equal(tree.predict(x), y)
+
+    def test_pure_node_stops_growing(self):
+        x = np.zeros((5, 2))
+        y = np.ones(5, dtype=np.int64)
+        tree = DecisionTreeClassifier(num_classes=2, max_depth=8).fit(x, y)
+        assert tree._root.is_leaf
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier(num_classes=1)
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier(num_classes=2, max_depth=0)
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier(num_classes=2).fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier(num_classes=2).fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier(num_classes=2).predict(np.zeros((1, 2)))
+
+
+class TestRegressor:
+    def test_fits_step_function(self):
+        x = np.linspace(0, 1, 50)[:, None]
+        y = (x[:, 0] > 0.5).astype(float) * 10
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        predictions = tree.predict(x)
+        np.testing.assert_allclose(predictions, y, atol=1e-9)
+
+    def test_leaf_value_is_mean(self):
+        x = np.zeros((4, 1))
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        np.testing.assert_allclose(tree.predict(np.zeros((1, 1))), [2.5])
+
+    def test_reduces_mse_vs_constant(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((100, 2))
+        y = np.sin(3 * x[:, 0]) + 0.1 * rng.standard_normal(100)
+        tree = DecisionTreeRegressor(max_depth=5, min_samples_leaf=3).fit(x, y)
+        mse_tree = np.mean((tree.predict(x) - y) ** 2)
+        mse_const = np.mean((y.mean() - y) ** 2)
+        assert mse_tree < 0.5 * mse_const

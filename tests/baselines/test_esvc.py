@@ -1,0 +1,60 @@
+"""Tests for the chained ESVC ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.esvc import EsvcClassifier
+from repro.exceptions import TrainingError
+
+
+def blobs(rng, counts=(40, 20, 10)):
+    xs, ys = [], []
+    offsets = [[4, 4], [-4, 4], [0, -5]]
+    for label, (count, offset) in enumerate(zip(counts, offsets)):
+        xs.append(rng.standard_normal((count, 2)) + offset)
+        ys.append(np.full(count, label))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+class TestEsvc:
+    def test_learns_blobs(self, rng):
+        x, y = blobs(rng)
+        esvc = EsvcClassifier(num_classes=3, epochs=40, seed=0).fit(x, y)
+        assert (esvc.predict(x) == y).mean() > 0.9
+
+    def test_chain_order_is_by_family_size(self, rng):
+        x, y = blobs(rng, counts=(10, 40, 20))
+        esvc = EsvcClassifier(num_classes=3, epochs=5, seed=0).fit(x, y)
+        assert esvc._chain_order == [1, 2, 0]
+
+    def test_thresholds_bound_training_fpr(self, rng):
+        x, y = blobs(rng)
+        bound = 0.05
+        esvc = EsvcClassifier(
+            num_classes=3, epochs=40, max_false_positive_rate=bound, seed=0
+        ).fit(x, y)
+        for class_index in range(3):
+            scores = esvc._machines[class_index].decision_function(x)
+            negatives = scores[y != class_index]
+            fpr = (negatives > esvc._thresholds[class_index]).mean()
+            assert fpr <= bound + 1e-9
+
+    def test_proba_argmax_matches_chain_decision(self, rng):
+        x, y = blobs(rng)
+        esvc = EsvcClassifier(num_classes=3, epochs=20, seed=0).fit(x, y)
+        proba = esvc.predict_proba(x)
+        np.testing.assert_array_equal(proba.argmax(axis=1), esvc.predict(x))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_fallthrough_assigns_everything(self, rng):
+        x, y = blobs(rng)
+        esvc = EsvcClassifier(num_classes=3, epochs=5, seed=0).fit(x, y)
+        far = rng.standard_normal((5, 2)) * 100  # far from everything
+        predictions = esvc.predict(far)
+        assert ((0 <= predictions) & (predictions < 3)).all()
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            EsvcClassifier(num_classes=3, max_false_positive_rate=0.0)
+        with pytest.raises(TrainingError):
+            EsvcClassifier(num_classes=3).predict(np.zeros((1, 2)))

@@ -1,0 +1,67 @@
+"""Tests for the gradient-boosted classifier."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gradient_boosting import GradientBoostingClassifier
+from repro.exceptions import TrainingError
+
+
+def blobs(rng, n_per_class=25, num_classes=3):
+    xs, ys = [], []
+    for label in range(num_classes):
+        xs.append(rng.standard_normal((n_per_class, 3)) + 2.5 * label)
+        ys.append(np.full(n_per_class, label))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+class TestGradientBoosting:
+    def test_learns_blobs(self, rng):
+        x, y = blobs(rng)
+        booster = GradientBoostingClassifier(num_classes=3, n_rounds=15, seed=0)
+        booster.fit(x, y)
+        assert (booster.predict(x) == y).mean() > 0.95
+
+    def test_more_rounds_reduce_train_loss(self, rng):
+        x, y = blobs(rng, n_per_class=15)
+
+        def loss_at(rounds):
+            booster = GradientBoostingClassifier(
+                num_classes=3, n_rounds=rounds, seed=0
+            ).fit(x, y)
+            proba = booster.predict_proba(x)
+            picked = np.clip(proba[np.arange(len(y)), y], 1e-12, 1)
+            return -np.log(picked).mean()
+
+        assert loss_at(20) < loss_at(2)
+
+    def test_base_score_is_class_prior(self, rng):
+        x = rng.standard_normal((20, 2))
+        y = np.array([0] * 15 + [1] * 5)
+        booster = GradientBoostingClassifier(num_classes=2, n_rounds=1, seed=0)
+        booster.fit(x, y)
+        np.testing.assert_allclose(
+            np.exp(booster._base_score), [0.75, 0.25]
+        )
+
+    def test_proba_normalized(self, rng):
+        x, y = blobs(rng, n_per_class=8)
+        booster = GradientBoostingClassifier(num_classes=3, n_rounds=3, seed=0).fit(x, y)
+        np.testing.assert_allclose(booster.predict_proba(x).sum(axis=1), 1.0)
+
+    def test_subsampling(self, rng):
+        x, y = blobs(rng, n_per_class=15)
+        booster = GradientBoostingClassifier(
+            num_classes=3, n_rounds=10, subsample=0.6, seed=0
+        ).fit(x, y)
+        assert (booster.predict(x) == y).mean() > 0.85
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            GradientBoostingClassifier(num_classes=1)
+        with pytest.raises(TrainingError):
+            GradientBoostingClassifier(num_classes=2, subsample=0.0)
+        with pytest.raises(TrainingError):
+            GradientBoostingClassifier(num_classes=2).fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(TrainingError):
+            GradientBoostingClassifier(num_classes=2).predict(np.zeros((1, 2)))

@@ -1,0 +1,54 @@
+"""Tests for the random forest."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_forest import RandomForestClassifier
+from repro.exceptions import TrainingError
+
+
+def blobs(rng, n_per_class=30, num_classes=3):
+    xs, ys = [], []
+    for label in range(num_classes):
+        xs.append(rng.standard_normal((n_per_class, 4)) + 3.0 * label)
+        ys.append(np.full(n_per_class, label))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+class TestRandomForest:
+    def test_learns_blobs(self, rng):
+        x, y = blobs(rng)
+        forest = RandomForestClassifier(num_classes=3, n_estimators=15, seed=0)
+        forest.fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.95
+
+    def test_proba_normalized(self, rng):
+        x, y = blobs(rng, n_per_class=10)
+        forest = RandomForestClassifier(num_classes=3, n_estimators=5, seed=0).fit(x, y)
+        proba = forest.predict_proba(x)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_deterministic_for_seed(self, rng):
+        x, y = blobs(rng, n_per_class=10)
+        a = RandomForestClassifier(num_classes=3, n_estimators=5, seed=4).fit(x, y)
+        b = RandomForestClassifier(num_classes=3, n_estimators=5, seed=4).fit(x, y)
+        np.testing.assert_array_equal(a.predict_proba(x), b.predict_proba(x))
+
+    def test_max_features_rules(self, rng):
+        x, y = blobs(rng, n_per_class=8)
+        for rule in ("sqrt", "log2", None):
+            RandomForestClassifier(
+                num_classes=3, n_estimators=2, max_features=rule, seed=0
+            ).fit(x, y)
+        with pytest.raises(TrainingError):
+            RandomForestClassifier(
+                num_classes=3, n_estimators=2, max_features="bogus"
+            ).fit(x, y)
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            RandomForestClassifier(num_classes=3, n_estimators=0)
+        with pytest.raises(TrainingError):
+            RandomForestClassifier(num_classes=3).fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(TrainingError):
+            RandomForestClassifier(num_classes=3).predict(np.zeros((1, 2)))

@@ -1,0 +1,63 @@
+"""Tests for the linear SVM and one-vs-rest wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.svm import LinearSVM, OneVsRestSVM
+from repro.exceptions import TrainingError
+
+
+class TestLinearSVM:
+    def test_separates_linearly_separable_data(self, rng):
+        x = np.concatenate([
+            rng.standard_normal((30, 2)) + [3, 3],
+            rng.standard_normal((30, 2)) - [3, 3],
+        ])
+        y = np.array([1.0] * 30 + [-1.0] * 30)
+        svm = LinearSVM(epochs=40, seed=0).fit(x, y)
+        assert (svm.predict(x) == y).mean() > 0.95
+
+    def test_labels_must_be_pm1(self, rng):
+        with pytest.raises(TrainingError):
+            LinearSVM().fit(np.zeros((2, 2)), np.array([0.0, 1.0]))
+
+    def test_decision_before_fit(self):
+        with pytest.raises(TrainingError):
+            LinearSVM().decision_function(np.zeros((1, 2)))
+
+    def test_regularization_shrinks_weights(self, rng):
+        x = np.concatenate([
+            rng.standard_normal((30, 2)) + [3, 3],
+            rng.standard_normal((30, 2)) - [3, 3],
+        ])
+        y = np.array([1.0] * 30 + [-1.0] * 30)
+        weak = LinearSVM(regularization=1e-4, epochs=30, seed=0).fit(x, y)
+        strong = LinearSVM(regularization=1.0, epochs=30, seed=0).fit(x, y)
+        assert np.linalg.norm(strong.weights) < np.linalg.norm(weak.weights)
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            LinearSVM(regularization=0.0)
+
+
+class TestOneVsRest:
+    def test_learns_three_blobs(self, rng):
+        x = np.concatenate([
+            rng.standard_normal((20, 2)) + offset
+            for offset in ([0, 5], [5, -5], [-5, -5])
+        ])
+        y = np.repeat([0, 1, 2], 20)
+        ovr = OneVsRestSVM(num_classes=3, epochs=40, seed=0).fit(x, y)
+        assert (ovr.predict(x) == y).mean() > 0.9
+
+    def test_proba_normalized(self, rng):
+        x = rng.standard_normal((10, 2))
+        y = rng.integers(0, 2, 10)
+        ovr = OneVsRestSVM(num_classes=2, epochs=5, seed=0).fit(x, y)
+        np.testing.assert_allclose(ovr.predict_proba(x).sum(axis=1), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            OneVsRestSVM(num_classes=1)
+        with pytest.raises(TrainingError):
+            OneVsRestSVM(num_classes=2).predict(np.zeros((1, 2)))

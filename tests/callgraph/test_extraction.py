@@ -1,0 +1,101 @@
+"""Tests for call-graph extraction."""
+
+import pytest
+
+from repro.callgraph import call_graph_from_text
+from repro.exceptions import CfgConstructionError
+
+#: main calls helper twice; helper calls leaf; leaf is self-contained.
+CALL_ASM = """
+.text:00401000 push ebp
+.text:00401001 call sub_401020
+.text:00401006 call sub_401020
+.text:0040100B call sub_401040
+.text:00401010 retn
+.text:00401020 mov eax, 0x1
+.text:00401023 call sub_401040
+.text:00401028 retn
+.text:00401040 xor eax, eax
+.text:00401042 retn
+"""
+
+
+class TestExtraction:
+    def test_functions_found(self):
+        graph = call_graph_from_text(CALL_ASM)
+        entries = [f.entry_address for f in graph.functions()]
+        assert entries == [0x401000, 0x401020, 0x401040]
+
+    def test_call_edges(self):
+        graph = call_graph_from_text(CALL_ASM)
+        assert set(graph.edges()) == {
+            (0x401000, 0x401020),
+            (0x401000, 0x401040),
+            (0x401020, 0x401040),
+        }
+
+    def test_duplicate_calls_collapse(self):
+        graph = call_graph_from_text(CALL_ASM)
+        main = graph.get_function(0x401000)
+        assert graph.out_degree(main) == 2  # two distinct callees
+
+    def test_instruction_partition(self):
+        graph = call_graph_from_text(CALL_ASM)
+        total = sum(f.num_instructions for f in graph.functions())
+        assert total == 10
+        main = graph.get_function(0x401000)
+        assert main.num_instructions == 5
+        leaf = graph.get_function(0x401040)
+        assert leaf.num_instructions == 2
+
+    def test_local_cfgs_built_without_call_edges(self):
+        graph = call_graph_from_text(CALL_ASM)
+        main = graph.get_function(0x401000)
+        # Local CFG must not contain blocks from other functions.
+        for block in main.local_cfg.blocks():
+            assert 0x401000 <= block.start_address < 0x401020
+
+    def test_degrees(self):
+        graph = call_graph_from_text(CALL_ASM)
+        leaf = graph.get_function(0x401040)
+        assert graph.in_degree(leaf) == 2
+        assert graph.out_degree(leaf) == 0
+
+    def test_networkx_export(self):
+        graph = call_graph_from_text(CALL_ASM)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.number_of_edges() == 3
+        assert nx_graph.nodes[0x401000]["name"] == "sub_401000"
+
+    def test_single_function_program(self):
+        graph = call_graph_from_text(".text:00401000 retn\n")
+        assert graph.num_functions == 1
+        assert graph.num_calls == 0
+
+    def test_unresolvable_call_ignored(self):
+        text = (
+            ".text:00401000 call eax\n"
+            ".text:00401002 retn\n"
+        )
+        graph = call_graph_from_text(text)
+        assert graph.num_functions == 1
+        assert graph.num_calls == 0
+
+    def test_empty_program_rejected(self):
+        from repro.asm.program import Program
+        from repro.callgraph.extraction import extract_call_graph
+
+        with pytest.raises(CfgConstructionError):
+            extract_call_graph(Program(), lambda op: None)
+
+
+class TestSyntheticCorpusExtraction:
+    def test_family_programs_have_call_graphs(self):
+        from repro.datasets import generate_mskcfg_listings
+
+        for name, text, _ in generate_mskcfg_listings(total=9, seed=2)[:5]:
+            graph = call_graph_from_text(text, name=name)
+            assert graph.num_functions >= 1
+            # Local CFGs exist for all functions.
+            assert all(f.local_cfg is not None for f in graph.functions())

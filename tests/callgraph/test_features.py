@@ -1,0 +1,89 @@
+"""Tests for call-graph feature hashing and the forest ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.callgraph import (
+    CallGraphForestEnsemble,
+    call_graph_feature_size,
+    call_graph_from_text,
+    call_graph_to_vector,
+    function_descriptor,
+)
+from repro.datasets import generate_mskcfg_listings
+from repro.exceptions import TrainingError
+
+from tests.callgraph.test_extraction import CALL_ASM
+
+
+class TestFeatures:
+    def test_vector_size(self):
+        graph = call_graph_from_text(CALL_ASM)
+        vector = call_graph_to_vector(graph, num_buckets=16)
+        assert vector.shape == (call_graph_feature_size(16),)
+
+    def test_histogram_counts_functions(self):
+        graph = call_graph_from_text(CALL_ASM)
+        vector = call_graph_to_vector(graph, num_buckets=8)
+        assert vector[:8].sum() == graph.num_functions
+
+    def test_global_channels(self):
+        graph = call_graph_from_text(CALL_ASM)
+        vector = call_graph_to_vector(graph, num_buckets=8)
+        assert vector[8] == graph.num_functions
+        assert vector[9] == graph.num_calls
+
+    def test_descriptor_contents(self):
+        graph = call_graph_from_text(CALL_ASM)
+        main = graph.get_function(0x401000)
+        descriptor = function_descriptor(main, graph)
+        assert descriptor[0] == main.num_instructions
+        assert descriptor[3] == 2  # out-degree in the call graph
+
+    def test_hashing_deterministic(self):
+        graph = call_graph_from_text(CALL_ASM)
+        a = call_graph_to_vector(graph, num_buckets=32)
+        b = call_graph_to_vector(graph, num_buckets=32)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_programs_differ(self):
+        a = call_graph_from_text(CALL_ASM)
+        b = call_graph_from_text(".text:00401000 retn\n")
+        assert not np.array_equal(
+            call_graph_to_vector(a), call_graph_to_vector(b)
+        )
+
+
+class TestForestEnsemble:
+    def build_corpus(self, total=45, seed=1):
+        listings = generate_mskcfg_listings(total=total, seed=seed,
+                                            minimum_per_family=4)
+        graphs = [call_graph_from_text(text, name=name)
+                  for name, text, _ in listings]
+        labels = [label for _, _, label in listings]
+        return graphs, labels
+
+    def test_learns_synthetic_families(self):
+        graphs, labels = self.build_corpus()
+        ensemble = CallGraphForestEnsemble(
+            num_classes=9, bucket_widths=(16, 32), n_estimators=15, seed=0
+        )
+        ensemble.fit(graphs, labels)
+        accuracy = (ensemble.predict(graphs) == np.array(labels)).mean()
+        assert accuracy > 0.8
+
+    def test_proba_normalized(self):
+        graphs, labels = self.build_corpus(total=27)
+        ensemble = CallGraphForestEnsemble(
+            num_classes=9, bucket_widths=(8,), n_estimators=5, seed=0
+        ).fit(graphs, labels)
+        proba = ensemble.predict_proba(graphs[:5])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            CallGraphForestEnsemble(num_classes=3, bucket_widths=())
+        with pytest.raises(TrainingError):
+            CallGraphForestEnsemble(num_classes=3).fit([], [1])
+        with pytest.raises(TrainingError):
+            CallGraphForestEnsemble(num_classes=3).predict([])

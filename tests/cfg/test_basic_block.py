@@ -1,0 +1,31 @@
+"""Tests for BasicBlock."""
+
+import pytest
+
+from repro.asm.instruction import Instruction
+from repro.cfg.basic_block import BasicBlock
+
+
+class TestBasicBlock:
+    def test_empty_block(self):
+        block = BasicBlock(start_address=0x10)
+        assert block.is_empty
+        assert len(block) == 0
+        assert block.end_address == 0x10
+
+    def test_append_and_last(self):
+        block = BasicBlock(start_address=0x10)
+        block.append(Instruction(address=0x10, mnemonic="push", size=1))
+        block.append(Instruction(address=0x11, mnemonic="retn", size=2))
+        assert len(block) == 2
+        assert block.last_instruction.mnemonic == "retn"
+        assert block.end_address == 0x13
+
+    def test_last_of_empty_raises(self):
+        with pytest.raises(IndexError):
+            BasicBlock(start_address=0x10).last_instruction
+
+    def test_hash_by_start_address(self):
+        a = BasicBlock(start_address=0x10)
+        b = BasicBlock(start_address=0x10)
+        assert hash(a) == hash(b)

@@ -1,0 +1,76 @@
+"""Tests for CFG graph metrics and DOT export."""
+
+import numpy as np
+
+from repro.cfg.builder import build_cfg_from_text
+from repro.cfg.metrics import compute_cfg_metrics, to_dot
+
+from tests.conftest import SAMPLE_ASM
+
+LOOP_ASM = """
+.text:00401000 xor ecx, ecx
+loc_401002:
+.text:00401002 inc ecx
+.text:00401003 cmp ecx, 0xA
+.text:00401006 jl loc_401002
+.text:00401008 retn
+"""
+
+
+class TestMetrics:
+    def test_sample_counts(self):
+        cfg = build_cfg_from_text(SAMPLE_ASM)
+        metrics = compute_cfg_metrics(cfg)
+        assert metrics.num_vertices == 5
+        assert metrics.num_edges == 5
+        assert metrics.num_instructions == 10
+        assert metrics.max_out_degree == 2
+        assert 0 < metrics.density < 1
+
+    def test_cyclomatic_complexity_formula(self):
+        cfg = build_cfg_from_text(SAMPLE_ASM)
+        metrics = compute_cfg_metrics(cfg)
+        # E - N + 2P with E=5, N=5, P=1 (one weak component).
+        assert metrics.num_components == 1
+        assert metrics.cyclomatic_complexity == 5 - 5 + 2
+
+    def test_loop_detection(self):
+        cfg = build_cfg_from_text(LOOP_ASM)
+        metrics = compute_cfg_metrics(cfg)
+        assert metrics.num_back_edges >= 1
+        assert metrics.num_nontrivial_sccs == 1
+
+    def test_straight_line_has_no_loops(self):
+        cfg = build_cfg_from_text(
+            ".text:00401000 mov eax, 0x1\n.text:00401003 retn\n"
+        )
+        metrics = compute_cfg_metrics(cfg)
+        assert metrics.num_back_edges == 0
+        assert metrics.num_nontrivial_sccs == 0
+        assert metrics.depth == 0
+
+    def test_depth_of_chain(self):
+        cfg = build_cfg_from_text(SAMPLE_ASM)
+        # Entry -> 401012 -> 401015: depth 2 from entry.
+        assert compute_cfg_metrics(cfg).depth == 2
+
+    def test_as_dict_roundtrip(self):
+        cfg = build_cfg_from_text(SAMPLE_ASM)
+        data = compute_cfg_metrics(cfg).as_dict()
+        assert data["num_vertices"] == 5
+
+
+class TestDotExport:
+    def test_structure(self):
+        cfg = build_cfg_from_text(SAMPLE_ASM, name="sample")
+        dot = to_dot(cfg)
+        assert dot.startswith('digraph "sample"')
+        assert dot.count(" -> ") == cfg.num_edges
+        for block in cfg.blocks():
+            assert f'"{block.start_address:#x}"' in dot
+
+    def test_instruction_labels(self):
+        cfg = build_cfg_from_text(LOOP_ASM)
+        dot = to_dot(cfg, include_instructions=True)
+        assert "inc ecx" in dot
+        assert "jl " in dot

@@ -1,0 +1,107 @@
+"""Tests for CFG/ACFG serialization round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg_from_text
+from repro.cfg.serialization import (
+    acfg_from_text,
+    acfg_to_text,
+    cfg_from_dict,
+    cfg_to_dict,
+    load_cfg,
+    save_cfg,
+)
+from repro.exceptions import SerializationError
+
+from tests.conftest import SAMPLE_ASM, SAMPLE_EDGES
+
+
+class TestJsonRoundTrip:
+    def test_structure_preserved(self):
+        cfg = build_cfg_from_text(SAMPLE_ASM, name="sample")
+        restored = cfg_from_dict(cfg_to_dict(cfg))
+        assert restored.name == "sample"
+        assert restored.num_vertices == cfg.num_vertices
+        assert set(restored.edges()) == SAMPLE_EDGES
+
+    def test_instructions_preserved(self):
+        cfg = build_cfg_from_text(SAMPLE_ASM)
+        restored = cfg_from_dict(cfg_to_dict(cfg))
+        original = cfg.entry_block().instructions
+        round_tripped = restored.entry_block().instructions
+        assert [i.mnemonic for i in original] == [i.mnemonic for i in round_tripped]
+        assert [i.operands for i in original] == [i.operands for i in round_tripped]
+
+    def test_file_roundtrip(self, tmp_path):
+        cfg = build_cfg_from_text(SAMPLE_ASM, name="sample")
+        path = str(tmp_path / "sample.json")
+        save_cfg(cfg, path)
+        restored = load_cfg(path)
+        assert set(restored.edges()) == set(cfg.edges())
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(SerializationError):
+            cfg_from_dict({"version": 999, "blocks": [], "edges": []})
+
+    def test_dangling_edge_rejected(self):
+        data = cfg_to_dict(build_cfg_from_text(SAMPLE_ASM))
+        data["edges"].append([0xDEAD, 0xBEEF])
+        with pytest.raises(SerializationError):
+            cfg_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_cfg(str(path))
+
+
+class TestAcfgTextFormat:
+    def test_roundtrip(self):
+        adjacency = np.array([[0, 1, 0], [0, 0, 1], [1, 0, 0]], dtype=float)
+        attributes = np.array([[1.5, 2.0], [0.0, -3.25], [4.0, 0.5]])
+        text = acfg_to_text(adjacency, attributes, label="Ramnit")
+        adj2, attr2, label = acfg_from_text(text)
+        np.testing.assert_array_equal(adj2, adjacency)
+        np.testing.assert_array_equal(attr2, attributes)
+        assert label == "Ramnit"
+
+    def test_roundtrip_without_label(self):
+        adjacency = np.zeros((2, 2))
+        attributes = np.ones((2, 3))
+        _, _, label = acfg_from_text(acfg_to_text(adjacency, attributes))
+        assert label is None
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SerializationError):
+            acfg_to_text(np.zeros((2, 3)), np.ones((2, 2)))
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(SerializationError):
+            acfg_from_text("")
+
+    def test_truncated_record_rejected(self):
+        with pytest.raises(SerializationError):
+            acfg_from_text("3 2\n1.0 2.0\n")
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(SerializationError):
+            acfg_from_text("1 1\n1.0\n0 5\n")
+
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        c=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, n, c, seed):
+        """Property: any generated (A, X) pair survives the text format."""
+        rng = np.random.default_rng(seed)
+        adjacency = (rng.random((n, n)) < 0.4).astype(float)
+        attributes = np.round(rng.standard_normal((n, c)), 6)
+        adj2, attr2, _ = acfg_from_text(acfg_to_text(adjacency, attributes))
+        np.testing.assert_array_equal(adj2, adjacency)
+        np.testing.assert_allclose(attr2, attributes)

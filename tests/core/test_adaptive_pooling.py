@@ -1,0 +1,48 @@
+"""Tests for the adaptive pooling head (Section III-C, Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive_pooling import AdaptivePoolingHead
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.tensor import Tensor
+
+
+class TestAdaptivePoolingHead:
+    def test_unifies_variable_vertex_counts(self):
+        """The whole point: graphs of any size give the same output shape."""
+        head = AdaptivePoolingHead(channels=8, output_grid=(3, 3))
+        for n in (3, 5, 17, 100):
+            out = head(Tensor(np.random.default_rng(n).standard_normal((n, 7))))
+            assert out.shape == (8, 3, 3)
+
+    def test_figure6_both_inputs(self):
+        """Figure 6 feeds a 5x7 and a 4x7 Z^{1:h} through 3x3 AMP."""
+        head = AdaptivePoolingHead(channels=1, output_grid=(3, 3))
+        for n in (5, 4):
+            out = head(Tensor(np.zeros((n, 7))))
+            assert out.shape == (1, 3, 3)
+
+    def test_gradients_flow(self):
+        head = AdaptivePoolingHead(channels=4, output_grid=(2, 2))
+        x = Tensor(np.random.default_rng(0).standard_normal((6, 5)), requires_grad=True)
+        head(x).sum().backward()
+        assert x.grad is not None
+        assert head.conv.weight.grad is not None
+
+    def test_rejects_non_2d_input(self):
+        head = AdaptivePoolingHead(channels=2)
+        with pytest.raises(ShapeError):
+            head(Tensor(np.zeros((2, 3, 4))))
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            AdaptivePoolingHead(channels=0)
+        with pytest.raises(ConfigurationError):
+            AdaptivePoolingHead(channels=4, output_grid=(0, 3))
+
+    def test_single_vertex_graph(self):
+        # Degenerate 1-vertex graph must still pool cleanly.
+        head = AdaptivePoolingHead(channels=2, output_grid=(3, 3))
+        out = head(Tensor(np.ones((1, 4))))
+        assert out.shape == (2, 3, 3)

@@ -1,0 +1,123 @@
+"""Tests for SortPooling (Section III-A-3, Figure 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sort_pooling import (
+    SortPooling,
+    resolve_sort_pooling_k,
+    sort_vertex_order,
+)
+from repro.exceptions import ConfigurationError
+from repro.nn.tensor import Tensor
+
+
+class TestSortOrder:
+    def test_primary_key_is_last_column_descending(self):
+        features = np.array([[0.0, 1.0], [0.0, 3.0], [0.0, 2.0]])
+        order = sort_vertex_order(features)
+        assert list(order) == [1, 2, 0]
+
+    def test_ties_broken_by_earlier_columns(self):
+        """Figure 4: ties on the last channel continue at the previous."""
+        features = np.array([
+            [1.0, 5.0],
+            [3.0, 5.0],   # ties with row 0 on last col; larger first col wins
+            [2.0, 9.0],
+        ])
+        order = sort_vertex_order(features)
+        assert list(order) == [2, 1, 0]
+
+    def test_full_tie_is_stable_by_construction(self):
+        features = np.ones((4, 3))
+        order = sort_vertex_order(features)
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            sort_vertex_order(np.zeros(5))
+
+    @given(
+        n=st.integers(1, 12),
+        c=st.integers(1, 5),
+        seed=st.integers(0, 5000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_order_is_a_permutation_and_sorted(self, n, c, seed):
+        """Property: output is a permutation; last column descends."""
+        rng = np.random.default_rng(seed)
+        features = rng.standard_normal((n, c))
+        order = sort_vertex_order(features)
+        assert sorted(order.tolist()) == list(range(n))
+        last = features[order, -1]
+        assert (np.diff(last) <= 1e-12).all()
+
+
+class TestResolveK:
+    def test_quantile_rule(self):
+        sizes = list(range(1, 101))  # 1..100
+        assert resolve_sort_pooling_k(sizes, 0.64) == 64
+        assert resolve_sort_pooling_k(sizes, 0.2) == 20
+
+    def test_minimum_floor(self):
+        assert resolve_sort_pooling_k([1, 1, 1], 0.2, minimum=5) == 5
+
+    def test_ratio_one_is_max_size(self):
+        assert resolve_sort_pooling_k([3, 9, 6], 1.0) == 9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            resolve_sort_pooling_k([], 0.5)
+        with pytest.raises(ConfigurationError):
+            resolve_sort_pooling_k([5], 0.0)
+        with pytest.raises(ConfigurationError):
+            resolve_sort_pooling_k([5], 1.5)
+
+
+class TestSortPoolingLayer:
+    def test_truncates_to_k(self):
+        """Figure 4: n=5, k=3 keeps the 3 'largest' rows."""
+        features = np.array([
+            [0.0, 1.0],
+            [0.0, 5.0],
+            [0.0, 3.0],
+            [0.0, 4.0],
+            [0.0, 2.0],
+        ])
+        out = SortPooling(k=3)(Tensor(features))
+        np.testing.assert_array_equal(out.data[:, 1], [5.0, 4.0, 3.0])
+
+    def test_pads_with_zeros(self):
+        features = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = SortPooling(k=5)(Tensor(features))
+        assert out.shape == (5, 2)
+        np.testing.assert_array_equal(out.data[2:], 0.0)
+
+    def test_exact_size_passthrough_sorted(self):
+        features = np.array([[0.0, 1.0], [0.0, 2.0]])
+        out = SortPooling(k=2)(Tensor(features))
+        np.testing.assert_array_equal(out.data[:, 1], [2.0, 1.0])
+
+    def test_output_size_invariant(self):
+        """The layer unifies any n to exactly k rows."""
+        layer = SortPooling(k=4)
+        for n in (1, 3, 4, 9, 40):
+            out = layer(Tensor(np.random.default_rng(n).standard_normal((n, 3))))
+            assert out.shape == (4, 3)
+
+    def test_gradient_routes_to_kept_rows_only(self):
+        features = Tensor(
+            np.array([[0.0, 1.0], [0.0, 5.0], [0.0, 3.0]]), requires_grad=True
+        )
+        out = SortPooling(k=2)(features)
+        out.sum().backward()
+        # Rows 1 (5.0) and 2 (3.0) kept; row 0 dropped.
+        np.testing.assert_array_equal(features.grad[0], [0.0, 0.0])
+        assert np.abs(features.grad[1]).sum() > 0
+        assert np.abs(features.grad[2]).sum() > 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            SortPooling(k=0)

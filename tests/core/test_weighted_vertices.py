@@ -1,0 +1,72 @@
+"""Tests for the WeightedVertices layer (Section III-B, Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.weighted_vertices import WeightedVertices
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestEquationThree:
+    def test_figure5_worked_example(self):
+        """E = f(W x Zsp) with W = [0.4, 0.1, 0.5] as in Figure 5."""
+        layer = WeightedVertices(k=3, activation="relu")
+        layer.weight.data = np.array([[0.4, 0.1, 0.5]])
+        z_sp = np.array([
+            [1.0, 2.0, -1.0],
+            [0.0, 4.0, 2.0],
+            [2.0, -2.0, 6.0],
+        ])
+        out = layer(Tensor(z_sp)).data
+        expected = np.maximum(np.array([[0.4, 0.1, 0.5]]) @ z_sp, 0.0)[0]
+        np.testing.assert_allclose(out, expected)
+
+    def test_equivalent_to_single_channel_conv1d(self):
+        """The paper's observation: the WeightedVertices layer equals a
+        single-channel Conv1D of kernel size k and stride k applied to
+        the transposed sort-pooling output (Equations 3-4)."""
+        rng = np.random.default_rng(0)
+        k, channels = 4, 6
+        z_sp = rng.standard_normal((k, channels))
+        weights = rng.standard_normal(k)
+
+        layer = WeightedVertices(k=k, activation="relu")
+        layer.weight.data = weights[None, :]
+        via_layer = layer(Tensor(z_sp)).data
+
+        # Conv1D over the transposed, flattened Zsp^T: signal of length
+        # channels*k where each group of k holds one channel's vertices.
+        signal = z_sp.T.reshape(1, 1, channels * k)
+        conv_w = weights.reshape(1, 1, k)
+        via_conv = F.conv1d(Tensor(signal), Tensor(conv_w), stride=k).relu().data
+        np.testing.assert_allclose(via_layer, via_conv.reshape(channels))
+
+    def test_output_shape(self):
+        layer = WeightedVertices(k=3)
+        assert layer(Tensor(np.zeros((3, 7)))).shape == (7,)
+
+    def test_input_shape_validated(self):
+        layer = WeightedVertices(k=3)
+        with pytest.raises(ShapeError):
+            layer(Tensor(np.zeros((4, 7))))
+        with pytest.raises(ShapeError):
+            layer(Tensor(np.zeros(3)))
+
+    def test_weight_is_trainable(self):
+        layer = WeightedVertices(k=2)
+        out = layer(Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+
+    def test_tanh_activation(self):
+        layer = WeightedVertices(k=2, activation="tanh")
+        out = layer(Tensor(np.full((2, 3), 100.0)))
+        assert (np.abs(out.data) <= 1.0).all()
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            WeightedVertices(k=0)
+        with pytest.raises(ConfigurationError):
+            WeightedVertices(k=2, activation="gelu")

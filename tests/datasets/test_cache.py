@@ -1,0 +1,62 @@
+"""Tests for dataset caching."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets.cache import load_dataset, save_dataset
+from repro.exceptions import DatasetError
+
+
+class TestCacheRoundTrip:
+    def test_roundtrip_preserves_everything(self, tiny_mskcfg, tmp_path):
+        directory = str(tmp_path / "corpus")
+        save_dataset(tiny_mskcfg, directory)
+        restored = load_dataset(directory)
+
+        assert restored.family_names == tiny_mskcfg.family_names
+        assert restored.name == tiny_mskcfg.name
+        assert len(restored) == len(tiny_mskcfg)
+        for original, reloaded in zip(tiny_mskcfg.acfgs, restored.acfgs):
+            assert reloaded.label == original.label
+            assert reloaded.name == original.name
+            np.testing.assert_array_equal(reloaded.adjacency, original.adjacency)
+            np.testing.assert_allclose(reloaded.attributes, original.attributes)
+
+    def test_loaded_dataset_trains(self, tiny_mskcfg, tmp_path):
+        from repro.core.dgcnn import ModelConfig
+        from repro.core.magic import Magic
+        from repro.train.trainer import TrainingConfig
+
+        directory = str(tmp_path / "corpus")
+        save_dataset(tiny_mskcfg, directory)
+        restored = load_dataset(directory)
+        magic = Magic(
+            ModelConfig(num_attributes=11, num_classes=9,
+                        pooling="sort_weighted", graph_conv_sizes=(6, 6),
+                        sort_k=4, hidden_size=8, seed=0),
+            restored.family_names,
+        )
+        magic.fit(restored.acfgs,
+                  training_config=TrainingConfig(epochs=1, batch_size=16))
+        assert magic.predict(restored.acfgs[:3]).shape == (3,)
+
+
+class TestCacheFailures:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset(str(tmp_path))
+
+    def test_corrupt_manifest(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{nope")
+        with pytest.raises(DatasetError):
+            load_dataset(str(tmp_path))
+
+    def test_missing_sample_file(self, tiny_mskcfg, tmp_path):
+        directory = str(tmp_path / "corpus")
+        save_dataset(tiny_mskcfg, directory)
+        os.remove(os.path.join(directory, "000000.acfg"))
+        with pytest.raises(DatasetError):
+            load_dataset(directory)

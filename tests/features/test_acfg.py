@@ -1,0 +1,84 @@
+"""Tests for the ACFG abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.cfg.builder import build_cfg_from_text
+from repro.exceptions import FeatureExtractionError
+from repro.features.acfg import ACFG
+
+from tests.conftest import SAMPLE_ASM
+
+
+def simple_acfg():
+    adjacency = np.array([[0, 1], [0, 0]], dtype=float)
+    attributes = np.array([[1.0, 2.0], [3.0, 4.0]])
+    return ACFG(adjacency=adjacency, attributes=attributes, label=0, name="t")
+
+
+class TestConstruction:
+    def test_shapes_validated(self):
+        with pytest.raises(FeatureExtractionError):
+            ACFG(adjacency=np.zeros((2, 3)), attributes=np.zeros((2, 2)))
+        with pytest.raises(FeatureExtractionError):
+            ACFG(adjacency=np.zeros((2, 2)), attributes=np.zeros((3, 2)))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(FeatureExtractionError):
+            ACFG(adjacency=np.zeros((0, 0)), attributes=np.zeros((0, 2)))
+
+    def test_non_finite_attributes_rejected(self):
+        bad = np.array([[1.0, np.nan], [0.0, 1.0]])
+        with pytest.raises(FeatureExtractionError):
+            ACFG(adjacency=np.zeros((2, 2)), attributes=bad)
+
+    def test_non_finite_adjacency_rejected(self):
+        bad = np.array([[0.0, np.inf], [0.0, 0.0]])
+        with pytest.raises(FeatureExtractionError):
+            ACFG(adjacency=bad, attributes=np.ones((2, 2)))
+
+    def test_properties(self):
+        acfg = simple_acfg()
+        assert acfg.num_vertices == 2
+        assert acfg.num_attributes == 2
+        assert acfg.num_edges == 1
+
+    def test_from_cfg_matches_graph(self):
+        cfg = build_cfg_from_text(SAMPLE_ASM, name="sample")
+        acfg = ACFG.from_cfg(cfg, label=3)
+        assert acfg.num_vertices == cfg.num_vertices
+        assert acfg.label == 3
+        assert acfg.name == "sample"
+        np.testing.assert_array_equal(acfg.adjacency, cfg.adjacency_matrix())
+
+
+class TestPropagationOperator:
+    def test_augmented_adjacency_adds_self_loops(self):
+        acfg = simple_acfg()
+        np.testing.assert_array_equal(
+            acfg.augmented_adjacency(), np.array([[1, 1], [0, 1]], dtype=float)
+        )
+
+    def test_rows_sum_to_one(self):
+        """D̂^-1 Â is a row-stochastic matrix by construction."""
+        cfg = build_cfg_from_text(SAMPLE_ASM)
+        acfg = ACFG.from_cfg(cfg)
+        propagation = acfg.propagation_operator()
+        np.testing.assert_allclose(propagation.sum(axis=1), np.ones(acfg.num_vertices))
+
+    def test_matches_explicit_formula(self):
+        acfg = simple_acfg()
+        augmented = acfg.augmented_adjacency()
+        degree_inverse = np.diag(1.0 / augmented.sum(axis=1))
+        np.testing.assert_allclose(
+            acfg.propagation_operator(), degree_inverse @ augmented
+        )
+
+    def test_cached(self):
+        acfg = simple_acfg()
+        assert acfg.propagation_operator() is acfg.propagation_operator()
+
+    def test_isolated_vertex_still_normalizable(self):
+        # A graph with no edges at all: self-loops make D̂ invertible.
+        acfg = ACFG(adjacency=np.zeros((3, 3)), attributes=np.ones((3, 2)))
+        np.testing.assert_allclose(acfg.propagation_operator(), np.eye(3))

@@ -1,0 +1,88 @@
+"""Tests for the optional extended attributes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cfg.builder import build_cfg_from_text
+from repro.features.attributes import attribute_names, num_attributes
+from repro.features.acfg import ACFG
+from repro.features.extra_attributes import (
+    EXTENDED_ATTRIBUTES,
+    disable_extended_attributes,
+    enable_extended_attributes,
+)
+
+from tests.conftest import SAMPLE_ASM
+
+
+@pytest.fixture
+def extended():
+    enable_extended_attributes()
+    yield
+    disable_extended_attributes()
+
+
+class TestToggle:
+    def test_enable_adds_channels(self, extended):
+        assert num_attributes() == 11 + len(EXTENDED_ATTRIBUTES)
+        assert "mnemonic_entropy" in attribute_names()
+
+    def test_disable_restores_layout(self):
+        enable_extended_attributes()
+        disable_extended_attributes()
+        assert num_attributes() == 11
+
+    def test_acfg_picks_up_new_channels(self, extended):
+        cfg = build_cfg_from_text(SAMPLE_ASM)
+        acfg = ACFG.from_cfg(cfg)
+        assert acfg.num_attributes == 11 + len(EXTENDED_ATTRIBUTES)
+
+
+class TestExtendedValues:
+    def test_in_degree(self, extended):
+        cfg = build_cfg_from_text(SAMPLE_ASM)
+        acfg = ACFG.from_cfg(cfg)
+        names = attribute_names()
+        column = names.index("in_degree")
+        # Block at 0x401015 has two predecessors (b1 and b3).
+        row = [b.start_address for b in cfg.blocks()].index(0x401015)
+        assert acfg.attributes[row, column] == 2.0
+
+    def test_mnemonic_entropy_bounds(self, extended):
+        cfg = build_cfg_from_text(SAMPLE_ASM)
+        acfg = ACFG.from_cfg(cfg)
+        column = attribute_names().index("mnemonic_entropy")
+        entropies = acfg.attributes[:, column]
+        assert (entropies >= 0).all()
+        # Entropy cannot exceed log2(block length).
+        for block, entropy in zip(cfg.blocks(), entropies):
+            assert entropy <= math.log2(max(2, len(block)))
+
+    def test_repeated_mnemonics_have_zero_entropy(self, extended):
+        cfg = build_cfg_from_text(
+            ".text:00401000 nop\n.text:00401001 nop\n.text:00401002 nop\n"
+        )
+        acfg = ACFG.from_cfg(cfg)
+        column = attribute_names().index("mnemonic_entropy")
+        np.testing.assert_allclose(acfg.attributes[:, column], 0.0)
+
+    def test_unique_mnemonics_and_operands(self, extended):
+        cfg = build_cfg_from_text(SAMPLE_ASM)
+        acfg = ACFG.from_cfg(cfg)
+        names = attribute_names()
+        unique_col = names.index("unique_mnemonics")
+        operand_col = names.index("operand_count")
+        entry_row = 0  # push/mov/cmp/jz: 4 unique, 1+2+2+1 = 6 operands
+        assert acfg.attributes[entry_row, unique_col] == 4.0
+        assert acfg.attributes[entry_row, operand_col] == 6.0
+
+
+class TestInDegree:
+    def test_graph_in_degree(self):
+        cfg = build_cfg_from_text(SAMPLE_ASM)
+        by_addr = {b.start_address: b for b in cfg.blocks()}
+        assert cfg.in_degree(by_addr[0x401000]) == 0   # entry
+        assert cfg.in_degree(by_addr[0x401015]) == 2   # join point
+        assert cfg.in_degree(by_addr[0x401012]) == 2   # jz target + fall

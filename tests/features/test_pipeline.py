@@ -1,0 +1,68 @@
+"""Tests for the batch ACFG extraction pipeline."""
+
+import pytest
+
+from repro.cfg.builder import build_cfg_from_text
+from repro.exceptions import MagicError
+from repro.features.pipeline import AcfgPipeline
+
+from tests.conftest import SAMPLE_ASM
+
+GOOD = ("good", SAMPLE_ASM, 0)
+EMPTY = ("empty", "", 1)  # empty program -> CfgConstructionError
+
+
+class TestSequentialExtraction:
+    def test_success(self):
+        report = AcfgPipeline().extract_from_texts([GOOD])
+        assert report.num_succeeded == 1
+        assert report.num_failed == 0
+        assert report.acfgs[0].label == 0
+        assert report.acfgs[0].name == "good"
+
+    def test_failure_collected_not_raised(self):
+        report = AcfgPipeline().extract_from_texts([GOOD, EMPTY])
+        assert report.num_succeeded == 1
+        assert report.num_failed == 1
+        assert report.failures[0][0] == "empty"
+
+    def test_order_preserved(self):
+        samples = [(f"s{i}", SAMPLE_ASM, i) for i in range(5)]
+        report = AcfgPipeline().extract_from_texts(samples)
+        assert [a.name for a in report.acfgs] == [f"s{i}" for i in range(5)]
+
+    def test_timing_recorded(self):
+        report = AcfgPipeline().extract_from_texts([GOOD])
+        assert report.elapsed_seconds > 0
+        assert report.seconds_per_sample > 0
+
+    def test_empty_batch(self):
+        report = AcfgPipeline().extract_from_texts([])
+        assert report.num_succeeded == 0
+        assert report.seconds_per_sample == 0.0
+
+
+class TestParallelExtraction:
+    def test_parallel_matches_sequential(self):
+        samples = [(f"s{i}", SAMPLE_ASM, i % 3) for i in range(8)]
+        sequential = AcfgPipeline(max_workers=1).extract_from_texts(samples)
+        parallel = AcfgPipeline(max_workers=4).extract_from_texts(samples)
+        assert [a.name for a in parallel.acfgs] == [a.name for a in sequential.acfgs]
+        assert [a.label for a in parallel.acfgs] == [a.label for a in sequential.acfgs]
+
+    def test_parallel_collects_failures(self):
+        report = AcfgPipeline(max_workers=2).extract_from_texts([GOOD, EMPTY])
+        assert report.num_failed == 1
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(MagicError):
+            AcfgPipeline(max_workers=0)
+
+
+class TestCfgIngestion:
+    def test_extract_from_prebuilt_cfgs(self):
+        cfg = build_cfg_from_text(SAMPLE_ASM, name="pre")
+        report = AcfgPipeline().extract_from_cfgs([(cfg, 4)])
+        assert report.num_succeeded == 1
+        assert report.acfgs[0].label == 4
+        assert report.acfgs[0].num_vertices == cfg.num_vertices

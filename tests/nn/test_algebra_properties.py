@@ -1,0 +1,111 @@
+"""Hypothesis property tests: algebraic identities of the autograd engine.
+
+Each identity is checked for both forward values *and* gradients — a
+broken backward rule can agree on values while disagreeing on grads.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor
+
+
+def _grad_of(fn, x0):
+    x = Tensor(x0.copy(), requires_grad=True)
+    fn(x).sum().backward()
+    return x.grad
+
+
+shapes = st.tuples(st.integers(1, 4), st.integers(1, 4))
+
+
+@st.composite
+def array_pair(draw):
+    shape = draw(shapes)
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape), rng.standard_normal(shape)
+
+
+class TestDistributivity:
+    @given(array_pair(), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_distributes_over_addition(self, pair, seed):
+        a0, b0 = pair
+        c = Tensor(np.random.default_rng(seed).standard_normal(
+            (a0.shape[1], 3)
+        ))
+        b = Tensor(b0)
+
+        left = _grad_of(lambda x: (x + b) @ c, a0)
+        right = _grad_of(lambda x: x @ c + b @ c, a0)
+        np.testing.assert_allclose(left, right, atol=1e-10)
+
+    @given(array_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_mul_add_expansion(self, pair):
+        a0, b0 = pair
+        b = Tensor(b0)
+        left = _grad_of(lambda x: (x + b) * (x + b), a0)
+        right = _grad_of(lambda x: x * x + 2 * (x * b) + b * b, a0)
+        np.testing.assert_allclose(left, right, atol=1e-9)
+
+
+class TestIdentities:
+    @given(array_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, pair):
+        a0, _ = pair
+        np.testing.assert_allclose(
+            _grad_of(lambda x: -(-x), a0), np.ones_like(a0)
+        )
+
+    @given(array_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_sub_equals_add_neg(self, pair):
+        a0, b0 = pair
+        b = Tensor(b0)
+        np.testing.assert_allclose(
+            _grad_of(lambda x: x - b, a0),
+            _grad_of(lambda x: x + (-b), a0),
+        )
+
+    @given(array_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_exp_log_inverse(self, pair):
+        a0, _ = pair
+        # log(exp(x)) == x, gradient is exactly one.
+        np.testing.assert_allclose(
+            _grad_of(lambda x: x.exp().log(), a0),
+            np.ones_like(a0),
+            atol=1e-9,
+        )
+
+    @given(array_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_involution(self, pair):
+        a0, _ = pair
+        np.testing.assert_allclose(
+            _grad_of(lambda x: x.T.T * 3, a0), np.full_like(a0, 3.0)
+        )
+
+    @given(array_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_of_parts_equals_whole(self, pair):
+        a0, _ = pair
+        if a0.shape[0] < 2:
+            return
+        whole = _grad_of(lambda x: x.sum(), a0)
+        parts = _grad_of(lambda x: x[:1].sum() + x[1:].sum(), a0)
+        np.testing.assert_allclose(whole, parts)
+
+
+class TestLinearity:
+    @given(array_pair(), st.floats(-3, 3, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_scales_linearly(self, pair, scale):
+        a0, _ = pair
+        base = _grad_of(lambda x: (x * x).sum(), a0)
+        scaled = _grad_of(lambda x: (x * x).sum() * scale, a0)
+        np.testing.assert_allclose(scaled, base * scale, atol=1e-9)

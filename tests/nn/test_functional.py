@@ -1,0 +1,160 @@
+"""Shape/semantic tests for the functional ops."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestConv1d:
+    def test_output_shape(self):
+        x = Tensor(np.zeros((2, 3, 10)))
+        w = Tensor(np.zeros((5, 3, 4)))
+        assert F.conv1d(x, w, stride=2).shape == (2, 5, 4)
+
+    def test_known_values(self):
+        # Single channel, kernel [1, 1]: a moving sum.
+        x = Tensor(np.array([[[1.0, 2.0, 3.0, 4.0]]]))
+        w = Tensor(np.array([[[1.0, 1.0]]]))
+        np.testing.assert_array_equal(
+            F.conv1d(x, w).data, [[[3.0, 5.0, 7.0]]]
+        )
+
+    def test_stride_equals_kernel_partitions_signal(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(1, 1, 6))
+        w = Tensor(np.ones((1, 1, 3)))
+        np.testing.assert_array_equal(
+            F.conv1d(x, w, stride=3).data, [[[3.0, 12.0]]]
+        )
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ShapeError):
+            F.conv1d(Tensor(np.zeros((1, 2, 5))), Tensor(np.zeros((1, 3, 2))))
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ShapeError):
+            F.conv1d(Tensor(np.zeros((1, 1, 3))), Tensor(np.zeros((1, 1, 5))))
+
+    def test_wrong_rank(self):
+        with pytest.raises(ShapeError):
+            F.conv1d(Tensor(np.zeros((3, 5))), Tensor(np.zeros((1, 1, 2))))
+
+
+class TestConv2d:
+    def test_output_shape_with_padding_and_stride(self):
+        x = Tensor(np.zeros((2, 3, 7, 9)))
+        w = Tensor(np.zeros((4, 3, 3, 3)))
+        out = F.conv2d(x, w, stride=(2, 1), padding=1)
+        assert out.shape == (2, 4, 4, 9)
+
+    def test_identity_kernel(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4))
+        w = Tensor(np.array([[[[1.0]]]]))
+        np.testing.assert_array_equal(F.conv2d(x, w).data, x.data)
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((1, 2, 5, 5))
+        w = rng.standard_normal((3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w)).data
+        naive = np.zeros((1, 3, 3, 3))
+        for f in range(3):
+            for i in range(3):
+                for j in range(3):
+                    naive[0, f, i, j] = (x[0, :, i:i+3, j:j+3] * w[f]).sum()
+        np.testing.assert_allclose(out, naive, atol=1e-12)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ShapeError):
+            F.conv2d(Tensor(np.zeros((1, 2, 5, 5))), Tensor(np.zeros((1, 3, 2, 2))))
+
+
+class TestPooling:
+    def test_max_pool2d_values(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2)
+        np.testing.assert_array_equal(out.data, [[[[5.0, 7.0], [13.0, 15.0]]]])
+
+    def test_max_pool2d_kernel_too_large(self):
+        with pytest.raises(ShapeError):
+            F.max_pool2d(Tensor(np.zeros((1, 1, 2, 2))), 3)
+
+    def test_max_pool1d_values(self):
+        x = Tensor(np.array([[[1.0, 5.0, 2.0, 8.0]]]))
+        np.testing.assert_array_equal(F.max_pool1d(x, 2).data, [[[5.0, 8.0]]])
+
+
+class TestAdaptiveMaxPool:
+    def test_window_bounds_tile_input(self):
+        """Property of the PyTorch rule: windows cover [0, n) in order."""
+        for input_size in range(1, 20):
+            for output_size in range(1, 8):
+                previous_end = 0
+                for index in range(output_size):
+                    start, end = F.adaptive_window_bounds(input_size, output_size, index)
+                    assert start < end
+                    assert start <= previous_end  # no gaps
+                    previous_end = max(previous_end, end)
+                assert previous_end == input_size  # full coverage
+
+    def test_figure6_shapes(self):
+        """Figure 6: 5x7 and 4x7 inputs both pool to 3x3."""
+        for height in (5, 4):
+            x = Tensor(np.random.default_rng(0).standard_normal((1, 1, height, 7)))
+            assert F.adaptive_max_pool2d(x, (3, 3)).shape == (1, 1, 3, 3)
+
+    def test_output_equal_input_is_identity(self):
+        x = Tensor(np.arange(12, dtype=float).reshape(1, 1, 3, 4))
+        np.testing.assert_array_equal(
+            F.adaptive_max_pool2d(x, (3, 4)).data, x.data
+        )
+
+    def test_global_pooling(self):
+        x = Tensor(np.arange(12, dtype=float).reshape(1, 1, 3, 4))
+        assert F.adaptive_max_pool2d(x, (1, 1)).data.item() == 11.0
+
+    def test_values_are_window_maxima(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((1, 1, 5, 7))
+        out = F.adaptive_max_pool2d(Tensor(data), (3, 3)).data
+        for oh in range(3):
+            h0, h1 = F.adaptive_window_bounds(5, 3, oh)
+            for ow in range(3):
+                w0, w1 = F.adaptive_window_bounds(7, 3, ow)
+                assert out[0, 0, oh, ow] == data[0, 0, h0:h1, w0:w1].max()
+
+
+class TestSoftmax:
+    def test_log_softmax_normalizes(self):
+        x = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        probs = np.exp(F.log_softmax(x, axis=-1).data)
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+    def test_numerical_stability_large_logits(self):
+        x = Tensor(np.array([[1e4, 1e4 + 1]]))
+        out = F.log_softmax(x, axis=-1).data
+        assert np.isfinite(out).all()
+
+    def test_softmax_shift_invariance(self):
+        x = np.array([[0.3, -1.2, 2.0]])
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestDropout:
+    def test_invalid_probability(self):
+        with pytest.raises(ShapeError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True)
+
+    def test_eval_mode_identity(self):
+        x = Tensor(np.ones(5))
+        assert F.dropout(x, 0.9, training=False) is x
+
+    def test_inverted_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(100_000))
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        assert abs(out.data.mean() - 1.0) < 0.02

@@ -1,0 +1,46 @@
+"""Tests for weight initialization."""
+
+import math
+
+import numpy as np
+
+from repro.nn.init import kaiming_uniform, xavier_uniform, zeros, _fans
+
+
+class TestFans:
+    def test_vector(self):
+        assert _fans((7,)) == (7, 7)
+
+    def test_linear_orientation(self):
+        assert _fans((3, 5)) == (3, 5)
+
+    def test_conv2d(self):
+        # (out=8, in=4, kernel 3x3): fan_in = 4*9, fan_out = 8*9.
+        assert _fans((8, 4, 3, 3)) == (36, 72)
+
+    def test_conv1d(self):
+        assert _fans((6, 2, 5)) == (10, 30)
+
+
+class TestXavier:
+    def test_bounds(self, rng):
+        weights = xavier_uniform((50, 80), rng)
+        bound = math.sqrt(6.0 / (50 + 80))
+        assert weights.shape == (50, 80)
+        assert np.abs(weights).max() <= bound
+
+    def test_roughly_zero_mean(self, rng):
+        weights = xavier_uniform((200, 200), rng)
+        assert abs(weights.mean()) < 0.01
+
+
+class TestKaiming:
+    def test_bounds(self, rng):
+        weights = kaiming_uniform((16, 3, 3, 3), rng)
+        bound = math.sqrt(6.0 / (3 * 9))
+        assert np.abs(weights).max() <= bound
+
+
+class TestZeros:
+    def test_zeros(self):
+        np.testing.assert_array_equal(zeros((2, 3)), np.zeros((2, 3)))

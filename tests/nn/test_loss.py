@@ -1,0 +1,63 @@
+"""Tests for the loss functions (Equation 5)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import functional as F
+from repro.nn.loss import cross_entropy, nll_loss
+from repro.nn.tensor import Tensor
+
+
+class TestNllLoss:
+    def test_perfect_prediction_is_zero(self):
+        log_probs = Tensor(np.log(np.array([[1.0 - 1e-12, 1e-12]])))
+        loss = nll_loss(log_probs, np.array([0]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_prediction_is_log_c(self):
+        c = 4
+        log_probs = Tensor(np.full((3, c), np.log(1.0 / c)))
+        loss = nll_loss(log_probs, np.array([0, 1, 2]))
+        assert loss.item() == pytest.approx(np.log(c))
+
+    def test_matches_manual_formula(self):
+        """Equation (5): mean over samples of -log p_{i, y_i}."""
+        probs = np.array([[0.7, 0.3], [0.2, 0.8], [0.5, 0.5]])
+        targets = np.array([0, 1, 1])
+        loss = nll_loss(Tensor(np.log(probs)), targets)
+        expected = -np.mean(np.log(probs[np.arange(3), targets]))
+        assert loss.item() == pytest.approx(expected)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            nll_loss(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ShapeError):
+            nll_loss(Tensor(np.zeros((2, 3))), np.array([0]))
+        with pytest.raises(ShapeError):
+            nll_loss(Tensor(np.zeros((2, 3))), np.array([0, 5]))
+
+    def test_gradient_flows(self):
+        logits = Tensor(np.zeros((2, 3)), requires_grad=True)
+        loss = nll_loss(F.log_softmax(logits, axis=-1), np.array([0, 2]))
+        loss.backward()
+        assert logits.grad is not None
+        # Softmax CE gradient: (p - onehot) / N.
+        expected = (np.full((2, 3), 1 / 3) - np.eye(3)[[0, 2]]) / 2
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-12)
+
+
+class TestCrossEntropy:
+    def test_equals_nll_of_log_softmax(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((4, 5))
+        targets = np.array([0, 1, 2, 3])
+        a = cross_entropy(Tensor(logits), targets).item()
+        b = nll_loss(F.log_softmax(Tensor(logits), axis=-1), targets).item()
+        assert a == pytest.approx(b)
+
+    def test_decreases_with_confidence_in_truth(self):
+        targets = np.array([0])
+        weak = cross_entropy(Tensor(np.array([[1.0, 0.0]])), targets).item()
+        strong = cross_entropy(Tensor(np.array([[5.0, 0.0]])), targets).item()
+        assert strong < weak

@@ -1,0 +1,67 @@
+"""Tests for the paper's LR decay rule (Section V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Parameter
+from repro.nn.lr_scheduler import ReduceLROnPlateau
+from repro.nn.optim import SGD
+
+
+def make_scheduler(patience=2, factor=0.1, min_lr=1e-8):
+    opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+    return opt, ReduceLROnPlateau(opt, factor=factor, patience=patience, min_lr=min_lr)
+
+
+class TestPaperRule:
+    def test_two_consecutive_increases_trigger_decay(self):
+        opt, sched = make_scheduler()
+        assert not sched.step(1.0)
+        assert not sched.step(1.1)   # one increase
+        assert sched.step(1.2)       # second consecutive increase -> decay
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_non_consecutive_increases_do_not_trigger(self):
+        opt, sched = make_scheduler()
+        sched.step(1.0)
+        sched.step(1.1)   # increase
+        sched.step(0.9)   # decrease resets the counter
+        assert not sched.step(1.0)  # single increase again
+        assert opt.lr == 1.0
+
+    def test_counter_resets_after_decay(self):
+        opt, sched = make_scheduler()
+        sched.step(1.0)
+        sched.step(1.1)
+        sched.step(1.2)  # decay #1
+        assert not sched.step(1.3)  # one increase since decay
+        assert sched.step(1.4)      # second -> decay #2
+        assert opt.lr == pytest.approx(0.01)
+        assert sched.num_reductions == 2
+
+    def test_min_lr_floor(self):
+        opt, sched = make_scheduler(min_lr=0.05)
+        losses = [1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6]
+        for loss in losses:
+            sched.step(loss)
+        assert opt.lr >= 0.05
+
+    def test_equal_loss_is_not_an_increase(self):
+        opt, sched = make_scheduler()
+        sched.step(1.0)
+        sched.step(1.0)
+        sched.step(1.0)
+        assert opt.lr == 1.0
+
+
+class TestValidation:
+    def test_bad_factor(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ConfigurationError):
+            ReduceLROnPlateau(opt, factor=1.5)
+
+    def test_bad_patience(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ConfigurationError):
+            ReduceLROnPlateau(opt, patience=0)

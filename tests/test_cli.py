@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+from tests.conftest import SAMPLE_ASM
+
+
+@pytest.fixture
+def listing_file(tmp_path):
+    path = tmp_path / "sample.asm"
+    path.write_text(SAMPLE_ASM)
+    return str(path)
+
+
+class TestInfo:
+    def test_prints_metrics(self, listing_file, capsys):
+        assert main(["info", listing_file]) == 0
+        out = capsys.readouterr().out
+        assert "num_vertices" in out
+        assert "cyclomatic_complexity" in out
+
+    def test_writes_dot(self, listing_file, tmp_path):
+        dot_path = str(tmp_path / "out.dot")
+        assert main(["info", listing_file, "--dot", dot_path]) == 0
+        with open(dot_path) as handle:
+            assert handle.read().startswith("digraph")
+
+
+class TestExtract:
+    def test_extracts_json(self, listing_file, tmp_path, capsys):
+        output = str(tmp_path / "cfgs")
+        assert main(["extract", listing_file, "--output", output]) == 0
+        assert os.path.exists(os.path.join(output, "sample.json"))
+
+    def test_failure_exit_code(self, tmp_path):
+        bad = tmp_path / "bad.asm"
+        bad.write_text("")  # empty program
+        output = str(tmp_path / "cfgs")
+        assert main(["extract", str(bad), "--output", output]) == 1
+
+
+class TestTrainPredict:
+    def test_train_then_predict(self, tmp_path, listing_file, capsys):
+        model_dir = str(tmp_path / "model")
+        code = main([
+            "train", "--dataset", "mskcfg", "--total", "36",
+            "--epochs", "1", "--pooling", "sort_weighted",
+            "--model-dir", model_dir,
+        ])
+        assert code == 0
+        assert os.path.exists(os.path.join(model_dir, "magic.json"))
+
+        capsys.readouterr()
+        assert main(["predict", "--model-dir", model_dir, listing_file]) == 0
+        out = capsys.readouterr().out
+        assert "confidence" in out
+
+    def test_predict_on_cfg_json(self, tmp_path, listing_file, capsys):
+        model_dir = str(tmp_path / "model")
+        main(["train", "--dataset", "mskcfg", "--total", "36",
+              "--epochs", "1", "--pooling", "sort_weighted",
+              "--model-dir", model_dir])
+        cfg_dir = str(tmp_path / "cfgs")
+        main(["extract", listing_file, "--output", cfg_dir])
+        capsys.readouterr()
+        json_path = os.path.join(cfg_dir, "sample.json")
+        assert main(["predict", "--model-dir", model_dir, json_path]) == 0
+        assert "confidence" in capsys.readouterr().out
+
+    def test_train_on_cfg_directory(self, tmp_path, capsys):
+        # Build a tiny <family>__<id>.json corpus via extract + rename.
+        from repro.datasets import generate_mskcfg_listings
+
+        cfg_dir = tmp_path / "corpus"
+        cfg_dir.mkdir()
+        listings = generate_mskcfg_listings(total=18, seed=1,
+                                            minimum_per_family=2)
+        from repro.cfg import build_cfg_from_text, save_cfg
+
+        for name, text, label in listings:
+            family = name.rsplit("_", 1)[0].replace(".", "_")
+            cfg = build_cfg_from_text(text, name=name)
+            save_cfg(cfg, str(cfg_dir / f"{family}__{name}.json"))
+
+        model_dir = str(tmp_path / "model")
+        code = main([
+            "train", "--cfg-dir", str(cfg_dir), "--epochs", "1",
+            "--pooling", "sort_weighted", "--model-dir", model_dir,
+        ])
+        assert code == 0
+
+    def test_missing_model_dir_errors(self, listing_file, capsys):
+        assert main(["predict", "--model-dir", "/nonexistent",
+                     listing_file]) == 2

@@ -1,0 +1,65 @@
+"""Smoke tests for the example scripts.
+
+Each example must parse, expose a ``main`` callable, and carry a usage
+docstring.  (Full runs are exercised manually / in CI with larger time
+budgets; the quickstart path is additionally executed end-to-end by the
+integration tests.)
+"""
+
+import ast
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXPECTED_EXAMPLES = [
+    "quickstart.py",
+    "classify_malware_families.py",
+    "compare_with_baselines.py",
+    "hyperparameter_search.py",
+    "inspect_cfg.py",
+    "extended_attributes.py",
+    "concept_drift.py",
+    "call_graph_analysis.py",
+]
+
+
+def example_path(name):
+    return os.path.join(EXAMPLES_DIR, name)
+
+
+class TestExampleScripts:
+    def test_all_expected_examples_exist(self):
+        present = set(os.listdir(EXAMPLES_DIR))
+        missing = [e for e in EXPECTED_EXAMPLES if e not in present]
+        assert not missing, f"missing examples: {missing}"
+
+    @pytest.mark.parametrize("name", EXPECTED_EXAMPLES)
+    def test_example_parses_and_has_main(self, name):
+        with open(example_path(name), "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=name)
+        assert ast.get_docstring(tree), f"{name} lacks a module docstring"
+        function_names = {
+            node.name for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in function_names, f"{name} has no main()"
+
+    @pytest.mark.parametrize("name", EXPECTED_EXAMPLES)
+    def test_example_guards_execution(self, name):
+        with open(example_path(name), "r", encoding="utf-8") as handle:
+            source = handle.read()
+        assert 'if __name__ == "__main__":' in source
+
+    @pytest.mark.parametrize("name", EXPECTED_EXAMPLES)
+    def test_example_imports_only_public_api(self, name):
+        """Examples must demonstrate the public surface, not internals."""
+        with open(example_path(name), "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read(), filename=name)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                assert not node.module.startswith("repro._"), (
+                    f"{name} imports private module {node.module}"
+                )

@@ -1,0 +1,60 @@
+"""Tests for the ASCII reporting helpers."""
+
+from repro.report import bar_chart, delta_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        chart = bar_chart({"Ramnit": 10, "Gatak": 5}, title="Families")
+        lines = chart.splitlines()
+        assert lines[0] == "Families"
+        assert "Ramnit" in lines[1]
+        # Ramnit's bar is roughly twice Gatak's.
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_scaling_to_width(self):
+        chart = bar_chart({"a": 100.0, "b": 50.0}, width=20, fmt="{:.0f}")
+        assert chart.splitlines()[0].count("#") == 20
+        assert chart.splitlines()[1].count("#") == 10
+
+    def test_sorted_mode(self):
+        chart = bar_chart({"small": 1, "big": 9}, sort=True)
+        assert chart.splitlines()[0].startswith("big")
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_zero_values_no_crash(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart
+
+
+class TestGroupedBarChart:
+    def test_series_aligned_per_label(self):
+        chart = grouped_bar_chart(
+            {"precision": {"f1": 0.9, "f2": 0.5},
+             "recall": {"f1": 0.8, "f2": 0.6}},
+        )
+        lines = chart.splitlines()
+        assert "f1" in lines[0]
+        assert "precision" in lines[0]
+        assert "recall" in lines[1]
+        assert "legend" not in lines[-1]  # legend line uses glyphs
+        assert "#=precision" in lines[-1]
+
+    def test_empty(self):
+        assert grouped_bar_chart({}, title="x") == "x"
+
+
+class TestDeltaChart:
+    def test_positive_and_negative_sides(self):
+        chart = delta_chart({"win": 0.3, "loss": -0.3}, width=10)
+        win_line, loss_line = chart.splitlines()
+        assert "+" in win_line and "-" not in win_line.split("|")[1]
+        assert "-" in loss_line
+        # Bars sit on opposite sides of the axis marker.
+        assert win_line.index("|") < win_line.rindex("+")
+        assert loss_line.rindex("-") < loss_line.index("|") + 1
+
+    def test_empty(self):
+        assert delta_chart({}) == ""

@@ -1,0 +1,66 @@
+"""Tests for confusion analysis."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.train.analysis import (
+    format_confusions,
+    hardest_families,
+    top_confusions,
+)
+from repro.train.metrics import evaluate_predictions
+
+
+def make_report():
+    # 3 classes; class 0 perfect, class 1 half-confused with 2, class 2 ok.
+    y_true = np.array([0, 0, 1, 1, 1, 1, 2, 2])
+    proba = np.eye(3)[np.array([0, 0, 1, 1, 2, 2, 2, 2])]
+    return evaluate_predictions(y_true, proba, 3, family_names=["a", "b", "c"])
+
+
+class TestTopConfusions:
+    def test_most_frequent_first(self):
+        pairs = top_confusions(make_report())
+        assert pairs[0].true_family == "b"
+        assert pairs[0].predicted_family == "c"
+        assert pairs[0].count == 2
+        assert pairs[0].rate == pytest.approx(0.5)
+
+    def test_diagonal_excluded(self):
+        for pair in top_confusions(make_report()):
+            assert pair.true_family != pair.predicted_family
+
+    def test_limit(self):
+        assert len(top_confusions(make_report(), limit=1)) == 1
+
+    def test_requires_family_names(self):
+        report = evaluate_predictions(
+            np.array([0, 1]), np.eye(2), 2, family_names=None
+        )
+        with pytest.raises(TrainingError):
+            top_confusions(report)
+
+    def test_perfect_classifier_has_no_confusions(self):
+        y = np.array([0, 1, 2])
+        report = evaluate_predictions(y, np.eye(3)[y], 3,
+                                      family_names=["a", "b", "c"])
+        assert top_confusions(report) == []
+
+
+class TestHardestFamilies:
+    def test_ordering(self):
+        names = hardest_families(make_report())
+        assert names[0] == "b"  # recall 0.5 -> lowest F1
+
+    def test_limit(self):
+        assert hardest_families(make_report(), limit=2) == ["b", "c"]
+
+
+class TestFormatting:
+    def test_format(self):
+        text = format_confusions(top_confusions(make_report()))
+        assert "b" in text and "->" in text and "%" in text
+
+    def test_empty(self):
+        assert format_confusions([]) == "(no confusions)"

@@ -1,0 +1,49 @@
+"""Tests for minibatch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.features.acfg import ACFG
+from repro.train.batching import iterate_minibatches
+
+
+def make_acfgs(n):
+    return [
+        ACFG(
+            adjacency=np.zeros((1, 1)),
+            attributes=np.array([[float(i)]]),
+            label=0,
+            name=f"s{i}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestMinibatches:
+    def test_covers_all_samples_once(self):
+        acfgs = make_acfgs(23)
+        seen = []
+        for batch in iterate_minibatches(acfgs, 5, rng=np.random.default_rng(0)):
+            seen.extend(a.name for a in batch)
+        assert sorted(seen) == sorted(a.name for a in acfgs)
+
+    def test_batch_sizes(self):
+        batches = list(
+            iterate_minibatches(make_acfgs(23), 5, rng=np.random.default_rng(0))
+        )
+        assert [len(b) for b in batches] == [5, 5, 5, 5, 3]
+
+    def test_no_shuffle_preserves_order(self):
+        batches = list(iterate_minibatches(make_acfgs(6), 2, shuffle=False))
+        assert [a.name for b in batches for a in b] == [f"s{i}" for i in range(6)]
+
+    def test_shuffle_deterministic_for_seed(self):
+        acfgs = make_acfgs(10)
+        a = [x.name for b in iterate_minibatches(acfgs, 3, rng=np.random.default_rng(1)) for x in b]
+        b = [x.name for b2 in iterate_minibatches(acfgs, 3, rng=np.random.default_rng(1)) for x in b2]
+        assert a == b
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(TrainingError):
+            list(iterate_minibatches(make_acfgs(3), 0))

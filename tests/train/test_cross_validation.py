@@ -1,0 +1,92 @@
+"""Tests for k-fold cross validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.dgcnn import ModelConfig, build_model
+from repro.datasets.loader import MalwareDataset
+from repro.features.acfg import ACFG
+from repro.train.cross_validation import cross_validate
+from repro.train.trainer import TrainingConfig
+
+
+def make_dataset(rng, n_per_class=10, num_classes=2):
+    acfgs = []
+    for label in range(num_classes):
+        for i in range(n_per_class):
+            n = int(rng.integers(3, 8))
+            adjacency = (rng.random((n, n)) < 0.3).astype(float)
+            np.fill_diagonal(adjacency, 0.0)
+            attributes = rng.standard_normal((n, 11)) + 2.0 * label
+            acfgs.append(
+                ACFG(adjacency=adjacency, attributes=attributes,
+                     label=label, name=f"{label}_{i}")
+            )
+    return MalwareDataset(
+        acfgs=acfgs, family_names=[f"f{c}" for c in range(num_classes)]
+    )
+
+
+def factory(fold):
+    return build_model(
+        ModelConfig(
+            num_attributes=11,
+            num_classes=2,
+            pooling="sort_weighted",
+            graph_conv_sizes=(6, 6),
+            sort_k=3,
+            hidden_size=8,
+            dropout=0.0,
+            seed=fold,
+        )
+    )
+
+
+class TestCrossValidate:
+    def test_three_fold_structure(self, rng):
+        dataset = make_dataset(rng, n_per_class=6)
+        result = cross_validate(
+            factory,
+            dataset,
+            TrainingConfig(epochs=2, batch_size=6),
+            n_splits=3,
+        )
+        assert len(result.fold_histories) == 3
+        assert len(result.fold_reports) == 3
+        assert result.epoch_validation_losses.shape == (2,)
+        # Averaged report covers every sample exactly once.
+        assert result.averaged_report.confusion.sum() == len(dataset)
+
+    def test_score_is_min_epoch_average(self, rng):
+        dataset = make_dataset(rng, n_per_class=6)
+        result = cross_validate(
+            factory,
+            dataset,
+            TrainingConfig(epochs=3, batch_size=6),
+            n_splits=3,
+        )
+        manual = np.mean(
+            [h.validation_losses for h in result.fold_histories], axis=0
+        )
+        assert result.score == pytest.approx(manual.min())
+
+    def test_learns_separable_data(self, rng):
+        dataset = make_dataset(rng, n_per_class=9)
+        result = cross_validate(
+            factory,
+            dataset,
+            TrainingConfig(epochs=10, batch_size=6, learning_rate=5e-3),
+            n_splits=3,
+        )
+        assert result.accuracy > 0.8
+
+    def test_scaling_can_be_disabled(self, rng):
+        dataset = make_dataset(rng, n_per_class=4)
+        result = cross_validate(
+            factory,
+            dataset,
+            TrainingConfig(epochs=1, batch_size=4),
+            n_splits=2,
+            scale_attributes=False,
+        )
+        assert len(result.fold_reports) == 2

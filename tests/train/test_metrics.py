@@ -1,0 +1,135 @@
+"""Tests for the metrics module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TrainingError
+from repro.train.metrics import (
+    ClassificationReport,
+    average_reports,
+    confusion_matrix,
+    evaluate_predictions,
+    log_loss,
+    precision_recall_f1,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect_prediction_is_diagonal(self):
+        y = np.array([0, 1, 2, 1])
+        cm = confusion_matrix(y, y, 3)
+        np.testing.assert_array_equal(cm, np.diag([1, 2, 1]))
+
+    def test_off_diagonal_placement(self):
+        cm = confusion_matrix(np.array([0]), np.array([2]), 3)
+        assert cm[0, 2] == 1
+        assert cm.sum() == 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            confusion_matrix(np.array([0, 1]), np.array([0]), 2)
+
+
+class TestPrecisionRecallF1:
+    def test_known_values(self):
+        # Class 0: tp=2, fp=1, fn=1 -> P=2/3, R=2/3, F1=2/3.
+        cm = np.array([[2, 1], [1, 6]])
+        scores = precision_recall_f1(cm)
+        assert scores[0].precision == pytest.approx(2 / 3)
+        assert scores[0].recall == pytest.approx(2 / 3)
+        assert scores[0].f1 == pytest.approx(2 / 3)
+        assert scores[0].support == 3
+
+    def test_absent_class_scores_zero(self):
+        cm = np.array([[5, 0], [0, 0]])
+        scores = precision_recall_f1(cm)
+        assert scores[1].precision == 0.0
+        assert scores[1].recall == 0.0
+        assert scores[1].f1 == 0.0
+
+    @given(
+        n=st.integers(5, 60),
+        c=st.integers(2, 6),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scores_bounded(self, n, c, seed):
+        """Property: all scores live in [0, 1]."""
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, c, n)
+        y_pred = rng.integers(0, c, n)
+        for s in precision_recall_f1(confusion_matrix(y_true, y_pred, c)):
+            assert 0.0 <= s.precision <= 1.0
+            assert 0.0 <= s.recall <= 1.0
+            assert 0.0 <= s.f1 <= 1.0
+            low = min(s.precision, s.recall)
+            high = max(s.precision, s.recall)
+            assert low - 1e-12 <= s.f1 <= high + 1e-12
+
+
+class TestLogLoss:
+    def test_perfect_confidence(self):
+        proba = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert log_loss(np.array([0, 1]), proba) == pytest.approx(0.0, abs=1e-10)
+
+    def test_uniform(self):
+        proba = np.full((3, 4), 0.25)
+        assert log_loss(np.array([0, 1, 2]), proba) == pytest.approx(np.log(4))
+
+    def test_clipping_avoids_infinity(self):
+        proba = np.array([[0.0, 1.0]])
+        assert np.isfinite(log_loss(np.array([0]), proba))
+
+    def test_shape_validated(self):
+        with pytest.raises(TrainingError):
+            log_loss(np.array([0, 1]), np.ones((1, 2)))
+
+
+class TestEvaluatePredictions:
+    def test_full_report(self):
+        proba = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        report = evaluate_predictions(
+            np.array([0, 1, 1]), proba, 2, family_names=["a", "b"]
+        )
+        assert report.accuracy == pytest.approx(2 / 3)
+        assert report.family_names == ["a", "b"]
+        assert report.confusion.sum() == 3
+
+    def test_macro_and_weighted_f1(self):
+        proba = np.eye(3)[np.array([0, 1, 2, 0])]
+        report = evaluate_predictions(np.array([0, 1, 2, 0]), proba, 3)
+        assert report.macro_f1 == pytest.approx(1.0)
+        assert report.weighted_f1 == pytest.approx(1.0)
+
+    def test_format_table_contains_families(self):
+        proba = np.eye(2)[np.array([0, 1])]
+        report = evaluate_predictions(
+            np.array([0, 1]), proba, 2, family_names=["Ramnit", "Gatak"]
+        )
+        table = report.format_table()
+        assert "Ramnit" in table and "Gatak" in table
+        assert "accuracy" in table
+
+    def test_scores_by_family_requires_names(self):
+        proba = np.eye(2)[np.array([0, 1])]
+        report = evaluate_predictions(np.array([0, 1]), proba, 2)
+        with pytest.raises(TrainingError):
+            report.scores_by_family()
+
+
+class TestAverageReports:
+    def test_averaging(self):
+        proba_a = np.eye(2)[np.array([0, 1])]
+        proba_b = np.array([[0.4, 0.6], [0.4, 0.6]])  # both predicted class 1
+        a = evaluate_predictions(np.array([0, 1]), proba_a, 2)
+        b = evaluate_predictions(np.array([0, 1]), proba_b, 2)
+        merged = average_reports([a, b])
+        assert merged.accuracy == pytest.approx((1.0 + 0.5) / 2)
+        assert merged.confusion.sum() == 4
+        assert merged.per_class[0].support == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            average_reports([])
