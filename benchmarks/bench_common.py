@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.dgcnn import ModelConfig, build_model
 from repro.datasets.loader import MalwareDataset

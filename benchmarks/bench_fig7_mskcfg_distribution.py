@@ -5,7 +5,7 @@ real corpus's proportions (Kelihos_ver3 > Lollipop > Ramnit > ... >
 Simda), so the figure's shape reproduces at any corpus scale.
 """
 
-from repro.datasets import MSKCFG_FAMILY_COUNTS, generate_mskcfg_dataset
+from repro.datasets import MSKCFG_FAMILY_COUNTS
 
 from benchmarks.bench_common import save_result
 

@@ -4,7 +4,7 @@ Regenerates the 13-family histogram (Hupigon dominating, Bagle/Ldpinch/
 Lmir among the smallest), matching the shape of the paper's Figure 8.
 """
 
-from repro.datasets import YANCFG_FAMILY_COUNTS, generate_yancfg_dataset
+from repro.datasets import YANCFG_FAMILY_COUNTS
 
 from benchmarks.bench_common import save_result
 

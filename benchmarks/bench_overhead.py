@@ -12,8 +12,6 @@ the shape that must hold is feature extraction >> training per instance
 > prediction per instance, each bounded enough for online use.
 """
 
-import numpy as np
-
 from repro.core.magic import Magic
 from repro.datasets import generate_mskcfg_listings
 from repro.train.trainer import TrainingConfig

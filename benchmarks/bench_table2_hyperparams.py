@@ -9,8 +9,6 @@ loss), verifying the grid structure matches Table II exactly and
 recording the winner.
 """
 
-import numpy as np
-
 from repro.train.hyperparameter import GridSearch, table2_grid
 
 from benchmarks.bench_common import save_result

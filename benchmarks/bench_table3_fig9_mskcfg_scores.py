@@ -7,8 +7,6 @@ hold is: accuracy well above 0.9, majority families near-perfect, and
 no family collapsing to zero.
 """
 
-import numpy as np
-
 from repro.train.trainer import Trainer
 from repro.features.scaling import AttributeScaler
 

@@ -1,21 +1,34 @@
-"""Throughput: per-graph dense vs block-diagonal sparse propagation.
+"""Throughput: batched sparse default path vs per-graph dense reference.
 
-Engineering benchmark behind ModelConfig.use_batched_propagation's
-default.  CFG propagation operators are small and dense (self-loops plus
-local edges), so per-graph BLAS matmuls usually beat a merged sparse
-product; this bench records the actual ratio on the benchmark corpus so
-the default is justified by data, not folklore.
+Engineering benchmark behind the batch-first execution contract.  The
+production forward pass runs the graph convolutions once over a
+block-diagonal CSR merge of the minibatch (``GraphBatch``); the dense
+per-graph loop survives only as ``DgcnnBase.forward_reference`` for
+equivalence testing.  This bench keeps the speedup claim measured: it
+records the actual ratio on the benchmark corpus, including the effect
+of collate memoization (the trainer revisits fixed validation chunks
+every epoch).
+
+Historical note: an earlier revision of this bench measured the sparse
+path *slower* and used that to justify a per-graph default — the batch
+operator was being assembled from dense blocks, so every explicit zero
+was stored (~1M "non-zeros" instead of ~14k).  Assembling from the
+per-graph cached CSR operators removed that artifact.
 """
+
+import gc
+import time
 
 import numpy as np
 
 from repro.core.dgcnn import ModelConfig, build_model
 from repro.features.scaling import AttributeScaler
+from repro.train.batching import BatchCollator
 
 from benchmarks.bench_common import save_result
 
 
-def _model(use_batched: bool):
+def _model():
     return build_model(
         ModelConfig(
             num_attributes=11,
@@ -26,7 +39,6 @@ def _model(use_batched: bool):
             hidden_size=32,
             dropout=0.0,
             seed=0,
-            use_batched_propagation=use_batched,
         )
     )
 
@@ -34,37 +46,74 @@ def _model(use_batched: bool):
 def test_throughput_per_graph_vs_batched(benchmark, mskcfg_bench):
     acfgs = AttributeScaler().fit_transform(mskcfg_bench.acfgs)[:48]
 
-    per_graph = _model(False)
-    batched = _model(True)
-    batched.load_state_dict(per_graph.state_dict())
-    per_graph.eval()
-    batched.eval()
+    model = _model()
+    model.eval()
+    collator = BatchCollator()
 
-    # Equivalence before timing.
+    # Equivalence before timing: default path == per-graph reference.
     np.testing.assert_allclose(
-        per_graph(acfgs[:8]).data, batched(acfgs[:8]).data, atol=1e-10
+        model(acfgs[:8]).data, model.forward_reference(acfgs[:8]).data,
+        atol=1e-10,
     )
 
-    import time
+    # Interleave the contenders round-robin so machine-load drift hits
+    # them equally, keep the best round for each; one warm-up round
+    # absorbs first-call allocator effects.  GC pauses during timing —
+    # the reference path allocates thousands of small cyclic autograd
+    # tensors whose collection otherwise lands on whichever contender
+    # runs next.
+    contenders = {
+        "per_graph": lambda: model.forward_reference(acfgs),
+        "batched_cold": lambda: model(model.collate(acfgs)),
+        "batched_warm": lambda: model(collator(acfgs)),
+    }
+    best = {name: float("inf") for name in contenders}
+    for fn in contenders.values():
+        fn()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    gc.collect()
+    try:
+        for _ in range(7):
+            for name, fn in contenders.items():
+                started = time.perf_counter()
+                fn()
+                best[name] = min(best[name], time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
-    def timed(model):
-        started = time.perf_counter()
-        model(acfgs)
-        return time.perf_counter() - started
+    per_graph_seconds = best["per_graph"]
+    batched_cold_seconds = best["batched_cold"]
+    batched_warm_seconds = best["batched_warm"]
 
-    per_graph_seconds = min(timed(per_graph) for _ in range(3))
-    batched_seconds = min(timed(batched) for _ in range(3))
-
+    ratio = batched_cold_seconds / per_graph_seconds
     print("\nPropagation throughput (48-graph batch, 4 conv layers):")
-    print(f"  per-graph dense      : {per_graph_seconds * 1000:7.1f} ms")
-    print(f"  block-diagonal sparse: {batched_seconds * 1000:7.1f} ms")
-    print(f"  ratio (sparse/dense) : {batched_seconds / per_graph_seconds:.2f}x")
+    print(f"  per-graph dense reference : {per_graph_seconds * 1000:7.1f} ms")
+    print(f"  batched sparse (cold)     : {batched_cold_seconds * 1000:7.1f} ms")
+    print(f"  batched sparse (memoized) : {batched_warm_seconds * 1000:7.1f} ms")
+    print(f"  ratio (batched/per-graph) : {ratio:.2f}x")
 
-    benchmark(lambda: per_graph(acfgs[:16]))
+    # The batch-first default must never regress behind the old
+    # per-graph default (small tolerance absorbs timer noise); the
+    # memoized path is what Trainer actually runs, so it gets the
+    # tighter bound.
+    assert batched_cold_seconds <= per_graph_seconds * 1.10, (
+        f"batched path regressed: {batched_cold_seconds * 1000:.1f} ms vs "
+        f"per-graph {per_graph_seconds * 1000:.1f} ms"
+    )
+    assert batched_warm_seconds <= per_graph_seconds * 1.05, (
+        f"memoized batched path regressed: "
+        f"{batched_warm_seconds * 1000:.1f} ms vs "
+        f"per-graph {per_graph_seconds * 1000:.1f} ms"
+    )
+
+    benchmark(lambda: model(collator(acfgs[:16])))
 
     save_result("throughput_batching", {
         "per_graph_ms": per_graph_seconds * 1000,
-        "batched_ms": batched_seconds * 1000,
-        "ratio": batched_seconds / per_graph_seconds,
+        "batched_ms": batched_cold_seconds * 1000,
+        "batched_memoized_ms": batched_warm_seconds * 1000,
+        "ratio": ratio,
         "batch_size": len(acfgs),
     })

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Batch-first inference: the GraphBatch forward contract.
+
+Every DGCNN variant takes a ``GraphBatch`` — a block-diagonal sparse
+merge of a minibatch of ACFGs — as its canonical input.  This example
+shows the three equivalent ways to drive a model:
+
+1. hand it a plain list of ACFGs (it collates internally),
+2. hand it a pre-built ``GraphBatch``,
+3. reuse batches across calls through a memoizing ``BatchCollator``
+   (what ``Trainer`` does for the fixed validation chunks).
+
+It also checks the batched path against the per-graph dense reference
+implementation, ``forward_reference`` — the two agree to ~1e-10.
+
+Run:  python examples/batched_inference.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import GraphBatch, ModelConfig, build_model
+from repro.datasets import generate_mskcfg_dataset
+from repro.features.scaling import AttributeScaler
+from repro.train import BatchCollator
+
+
+def main() -> None:
+    dataset = generate_mskcfg_dataset(total=60, seed=0, minimum_per_family=4)
+    acfgs = AttributeScaler().fit_transform(dataset.acfgs)[:32]
+
+    model = build_model(ModelConfig(
+        num_attributes=acfgs[0].num_attributes,
+        num_classes=dataset.num_classes,
+        pooling="sort_weighted",
+        graph_conv_sizes=(32, 32, 32, 32),
+        sort_k=10,
+        hidden_size=32,
+        dropout=0.0,
+        seed=0,
+    ))
+    model.eval()
+
+    # 1. Sequence input: the model collates for you.
+    from_list = model(acfgs)
+
+    # 2. Explicit GraphBatch: build once, reuse as you like.
+    batch = GraphBatch(acfgs)
+    from_batch = model(batch)
+    print(f"batch: {batch.num_graphs} graphs, {batch.total_vertices} vertices,"
+          f" {batch.propagation.nnz} stored non-zeros")
+
+    # 3. Memoizing collator: repeat calls skip the rebuild.
+    collator = BatchCollator()
+    collator(acfgs)
+    started = time.perf_counter()
+    from_collator = model(collator(acfgs))
+    warm_ms = (time.perf_counter() - started) * 1000
+    print(f"memoized forward: {warm_ms:.1f} ms"
+          f" (cache hits={collator.hits}, misses={collator.misses})")
+
+    np.testing.assert_array_equal(from_list.data, from_batch.data)
+    np.testing.assert_array_equal(from_batch.data, from_collator.data)
+
+    # The per-graph dense loop survives as the reference implementation.
+    reference = model.forward_reference(acfgs)
+    worst = float(np.max(np.abs(from_batch.data - reference.data)))
+    print(f"batched vs per-graph reference, max |Δlog-prob|: {worst:.2e}")
+
+
+if __name__ == "__main__":
+    main()

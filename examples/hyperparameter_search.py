@@ -12,7 +12,7 @@ Run:  python examples/hyperparameter_search.py [--epochs 8] [--folds 3]
 import argparse
 
 from repro.datasets import generate_mskcfg_dataset
-from repro.train import GridSearch, HyperparameterSetting, table2_grid
+from repro.train import GridSearch, table2_grid
 
 
 def reduced_grid():

@@ -16,7 +16,7 @@ probabilities for log-loss computation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List
 
 import numpy as np
 

@@ -10,7 +10,7 @@ by maximum Jaccard similarity against the family profiles.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, List, Sequence, Set, Tuple
 
 import numpy as np
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.asm.instruction import Instruction
 from repro.asm.parser import AsmParser
 from repro.asm.program import Program
 from repro.asm.visitor import InstructionTagger

@@ -14,7 +14,7 @@ formats:
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

@@ -142,23 +142,33 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
+    """Classify listings in one batched forward pass.
+
+    Ingestion failures are reported per file; every successfully
+    extracted ACFG then flows through the model as part of one
+    GraphBatch-collated prediction call instead of one forward pass per
+    file.
+    """
     magic = Magic.load(args.model_dir)
     status = 0
+    ingested = []  # (path, ACFG) for everything that survived the front end
     for path in args.listings:
         try:
             if path.endswith(".json"):
                 acfg = ACFG.from_cfg(load_cfg(path))
-                probabilities = magic.predict_proba([acfg])[0]
-                family = magic.family_names[int(probabilities.argmax())]
             else:
                 with open(path, "r", encoding="utf-8", errors="replace") as fh:
-                    family, probabilities = magic.classify_asm(fh.read(), name=path)
+                    acfg = magic.acfg_from_asm(fh.read(), name=path)
         except MagicError as exc:
             print(f"FAILED {path}: {exc}", file=sys.stderr)
             status = 1
             continue
-        confidence = float(probabilities.max())
-        print(f"{path}: {family} (confidence {confidence:.3f})")
+        ingested.append((path, acfg))
+    if ingested:
+        probabilities = magic.predict_proba([acfg for _, acfg in ingested])
+        for (path, _), row in zip(ingested, probabilities):
+            family = magic.family_names[int(row.argmax())]
+            print(f"{path}: {family} (confidence {float(row.max()):.3f})")
     return status
 
 

@@ -1,6 +1,7 @@
 """The paper's primary contribution: DGCNN variants and the MAGIC system."""
 
 from repro.core.adaptive_pooling import AdaptivePoolingHead
+from repro.core.batched import GraphBatch, propagate
 from repro.core.dgcnn import (
     POOLING_ADAPTIVE,
     POOLING_SORT_CONV1D,
@@ -28,6 +29,7 @@ __all__ = [
     "DgcnnBase",
     "DgcnnSortPoolingConv1d",
     "DgcnnSortPoolingWeightedVertices",
+    "GraphBatch",
     "GraphConvolution",
     "GraphConvolutionStack",
     "Magic",
@@ -40,6 +42,7 @@ __all__ = [
     "SortPooling",
     "WeightedVertices",
     "build_model",
+    "propagate",
     "resolve_sort_pooling_k",
     "sort_vertex_order",
 ]

@@ -12,17 +12,27 @@ representation:
   VGG-inspired Conv2D head (Section III-C); the architecture Table II
   selects as best on both datasets.
 
-All variants consume a list of :class:`~repro.features.acfg.ACFG` and
-emit ``(batch, num_classes)`` log-probabilities, so the training loop,
-loss (Equation 5), and evaluation code are architecture-agnostic —
+All variants share one forward contract: they consume a
+:class:`~repro.core.batched.GraphBatch` (a list of
+:class:`~repro.features.acfg.ACFG` is collated on the fly) and emit
+``(batch, num_classes)`` log-probabilities, so the training loop, loss
+(Equation 5), and evaluation code are architecture-agnostic —
 "regardless of how we change the layer configurations ... the model's
 output is always the prediction of the observed input" (Section IV-B).
+
+Graph convolutions always run over the block-diagonal sparse merge of
+the batch (one sparse matmul per layer).  The dense per-graph loop
+survives only as :meth:`DgcnnBase.forward_reference`, the reference
+implementation that the equivalence tests compare against; the old
+``ModelConfig.use_batched_propagation`` opt-in flag is retired (a
+deprecation shim still accepts — and ignores — it).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+import warnings
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,7 +43,7 @@ from repro.nn import stack
 from repro.nn.layers import Conv1d, Conv2d, Dropout, Linear, Module
 from repro.nn.tensor import Tensor
 from repro.core.adaptive_pooling import AdaptivePoolingHead
-from repro.core.batched import GraphBatch, propagate
+from repro.core.batched import GraphBatch
 from repro.core.graph_conv import GraphConvolutionStack
 from repro.core.sort_pooling import SortPooling
 from repro.core.weighted_vertices import WeightedVertices
@@ -79,14 +89,13 @@ class ModelConfig:
     normalize_propagation:
         ``True`` for Equation 1's ``D̂^-1 Â`` propagation (the paper);
         ``False`` for raw ``Â`` (ablation, DESIGN.md §5).
-    use_batched_propagation:
-        ``True`` runs graph convolutions over a block-diagonal sparse
-        merge of the batch (one matmul per layer); ``False`` (default)
-        processes graphs individually with dense BLAS matmuls, which is
-        faster for the small dense propagation operators CFGs produce.
-        Both paths are numerically identical.
     seed:
         Seed for parameter initialization and dropout.
+    use_batched_propagation:
+        Retired.  Batched sparse propagation is the only production
+        path; the keyword is still accepted (and ignored, with a
+        :class:`DeprecationWarning`) so configs persisted before the
+        batch-first refactor keep loading.
     """
 
     num_attributes: int
@@ -102,10 +111,19 @@ class ModelConfig:
     dropout: float = 0.1
     activation: str = "tanh"
     normalize_propagation: bool = True
-    use_batched_propagation: bool = False
     seed: int = 0
+    use_batched_propagation: dataclasses.InitVar[Optional[bool]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, use_batched_propagation: Optional[bool]) -> None:
+        if use_batched_propagation is not None:
+            warnings.warn(
+                "ModelConfig.use_batched_propagation is retired: batched "
+                "sparse propagation is the only production path (the "
+                "per-graph loop survives as DgcnnBase.forward_reference "
+                "for equivalence testing); the flag is ignored",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if self.pooling not in POOLING_TYPES:
             raise ConfigurationError(
                 f"pooling must be one of {POOLING_TYPES}, got {self.pooling!r}"
@@ -120,8 +138,23 @@ class ModelConfig:
             )
 
 
+#: What the models' forward pass accepts: a pre-collated batch or raw ACFGs.
+ModelInput = Union[GraphBatch, Sequence[ACFG]]
+
+
 class DgcnnBase(Module):
-    """Shared scaffolding: graph conv stack + classifier plumbing."""
+    """Shared scaffolding: graph conv stack + classifier plumbing.
+
+    The forward contract is batch-first: ``forward`` consumes one
+    :class:`~repro.core.batched.GraphBatch` (raw ACFG sequences are
+    collated on the fly) and runs the graph convolutions once over the
+    merged batch.  :meth:`forward_reference` keeps the dense per-graph
+    loop alive purely as the ground truth for equivalence tests.
+    """
+
+    #: Collate layers (e.g. ``Trainer``) check this to know they may hand
+    #: the model a pre-built ``GraphBatch`` instead of a list of ACFGs.
+    accepts_graph_batch = True
 
     def __init__(self, config: ModelConfig) -> None:
         super().__init__()
@@ -135,6 +168,30 @@ class DgcnnBase(Module):
             normalize_propagation=config.normalize_propagation,
         )
 
+    @property
+    def normalize_propagation(self) -> bool:
+        """The propagation normalization a collated batch must match."""
+        return self.config.normalize_propagation
+
+    def collate(self, acfgs: Sequence[ACFG]) -> GraphBatch:
+        """Merge raw ACFGs into a :class:`GraphBatch` this model accepts."""
+        return GraphBatch(
+            acfgs, normalize_propagation=self.config.normalize_propagation
+        )
+
+    def _coerce(self, batch: ModelInput) -> GraphBatch:
+        if isinstance(batch, GraphBatch):
+            if batch.normalized != self.config.normalize_propagation:
+                raise ConfigurationError(
+                    f"GraphBatch built with normalize_propagation="
+                    f"{batch.normalized}, but the model expects "
+                    f"{self.config.normalize_propagation}"
+                )
+            return batch
+        if not batch:
+            raise ConfigurationError("forward() on an empty batch")
+        return self.collate(batch)
+
     # -- per-graph fixed-size representation (architecture-specific) ----
 
     def embed_from_zconcat(self, z_concat: Tensor) -> Tensor:
@@ -145,51 +202,44 @@ class DgcnnBase(Module):
         """Fixed-size representation of one graph (flattened to 1-D)."""
         return self.embed_from_zconcat(self.graph_convs(acfg))
 
-    def forward(self, batch: Sequence[ACFG]) -> Tensor:
+    def forward(self, batch: ModelInput) -> Tensor:
         """Log-probabilities for a batch of graphs: ``(B, num_classes)``.
 
-        With ``config.use_batched_propagation`` the graph convolutions
-        run over the whole batch at once via a block-diagonal sparse
-        propagation operator (:mod:`repro.core.batched`); otherwise each
-        graph flows through dense per-graph matmuls.  The two paths are
-        numerically identical (``tests/core/test_batched.py``).
+        The graph convolutions run once over the whole batch via the
+        block-diagonal sparse propagation operator
+        (:mod:`repro.core.batched`); raw ACFG sequences are collated
+        first.  Numerically equivalent to :meth:`forward_reference`
+        (``tests/core/test_batched.py``).
         """
-        if not batch:
-            raise ConfigurationError("forward() on an empty batch")
-        if self.config.use_batched_propagation:
-            graph_batch = GraphBatch(
-                batch, normalize_propagation=self.config.normalize_propagation
+        graph_batch = self._coerce(batch)
+        z_all = self.graph_convs.forward_batch(graph_batch)
+        embeddings = [
+            self.embed_from_zconcat(z_slice)
+            for z_slice in graph_batch.split(z_all)
+        ]
+        return self.classify(stack(embeddings, axis=0))
+
+    def forward_reference(self, batch: Sequence[ACFG]) -> Tensor:
+        """Per-graph dense reference path (equivalence testing only).
+
+        Kept so the batched production path has a simple, obviously
+        correct implementation to be checked against; not used by the
+        trainer, cross-validation, grid search, or the CLI.
+        """
+        if isinstance(batch, GraphBatch):
+            raise ConfigurationError(
+                "forward_reference() takes raw ACFGs, not a GraphBatch"
             )
-            z_all = self._graph_conv_batched(graph_batch)
-            embeddings = [
-                self.embed_from_zconcat(z_slice)
-                for z_slice in graph_batch.split(z_all)
-            ]
-        else:
-            embeddings = [self.embed_graph(acfg) for acfg in batch]
-        stacked = stack(embeddings, axis=0)
-        return self.classify(stacked)
-
-    def _graph_conv_batched(self, graph_batch: GraphBatch) -> Tensor:
-        """Run the graph-convolution stack over a merged batch."""
-        from repro.nn import concatenate
-
-        stack_module = self.graph_convs
-        z = Tensor(graph_batch.attributes)
-        outputs = []
-        for index in range(stack_module.num_layers):
-            layer = stack_module.layer(index)
-            mixed = z @ layer.weight
-            propagated = propagate(graph_batch, mixed)
-            z = propagated.tanh() if layer.activation == "tanh" else propagated.relu()
-            outputs.append(z)
-        return concatenate(outputs, axis=1)
+        if not batch:
+            raise ConfigurationError("forward_reference() on an empty batch")
+        embeddings = [self.embed_graph(acfg) for acfg in batch]
+        return self.classify(stack(embeddings, axis=0))
 
     def classify(self, embeddings: Tensor) -> Tensor:
         """Map stacked graph embeddings ``(B, D)`` to log-probabilities."""
         raise NotImplementedError
 
-    def predict_proba(self, batch: Sequence[ACFG]) -> np.ndarray:
+    def predict_proba(self, batch: ModelInput) -> np.ndarray:
         """Class probabilities without tracking gradients."""
         was_training = self.training
         self.eval()
@@ -199,7 +249,7 @@ class DgcnnBase(Module):
             self.train(was_training)
         return np.exp(log_probs.data)
 
-    def predict(self, batch: Sequence[ACFG]) -> np.ndarray:
+    def predict(self, batch: ModelInput) -> np.ndarray:
         """Hard class predictions for a batch of graphs."""
         return self.predict_proba(batch).argmax(axis=1)
 

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batched import GraphBatch, propagate
 from repro.exceptions import ConfigurationError
 from repro.features.acfg import ACFG
 from repro.nn import concatenate
@@ -121,7 +122,13 @@ class GraphConvolutionStack(Module):
         return getattr(self, f"conv{index}")
 
     def forward(self, acfg: ACFG) -> Tensor:
-        """Compute ``Z^{1:h}`` for one graph: shape ``(n, sum(layer_sizes))``."""
+        """Compute ``Z^{1:h}`` for one graph: shape ``(n, sum(layer_sizes))``.
+
+        This dense per-graph path is the *reference implementation*; the
+        production path is :meth:`forward_batch`, which runs each layer
+        once over a whole :class:`~repro.core.batched.GraphBatch`.  The
+        two are numerically equivalent (``tests/core/test_batched.py``).
+        """
         if self.normalize_propagation:
             propagation = acfg.propagation_operator()
         else:
@@ -130,5 +137,28 @@ class GraphConvolutionStack(Module):
         outputs: List[Tensor] = []
         for index in range(self.num_layers):
             z = self.layer(index)(propagation, z)
+            outputs.append(z)
+        return concatenate(outputs, axis=1)
+
+    def forward_batch(self, batch: GraphBatch) -> Tensor:
+        """Compute ``Z^{1:h}`` for a merged batch: ``(N, sum(layer_sizes))``.
+
+        One sparse matmul per layer over the block-diagonal operator
+        replaces ``B`` dense matmuls per layer; rows stay grouped by
+        graph, so ``batch.split`` recovers the per-graph ``Z^{1:h}``.
+        """
+        if batch.normalized != self.normalize_propagation:
+            raise ConfigurationError(
+                f"GraphBatch built with normalize_propagation="
+                f"{batch.normalized}, but this stack expects "
+                f"{self.normalize_propagation}"
+            )
+        z = Tensor(batch.attributes)
+        outputs: List[Tensor] = []
+        for index in range(self.num_layers):
+            layer = self.layer(index)
+            mixed = z @ layer.weight
+            propagated = propagate(batch, mixed)
+            z = propagated.tanh() if layer.activation == "tanh" else propagated.relu()
             outputs.append(z)
         return concatenate(outputs, axis=1)

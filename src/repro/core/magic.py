@@ -197,6 +197,10 @@ class Magic:
         raw_config["graph_conv_sizes"] = tuple(raw_config["graph_conv_sizes"])
         raw_config["amp_grid"] = tuple(raw_config["amp_grid"])
         raw_config["conv1d_channels"] = tuple(raw_config["conv1d_channels"])
+        # Models persisted before the batch-first refactor recorded the
+        # retired use_batched_propagation flag; drop it silently — the
+        # batched path is now the only one and parameters are unaffected.
+        raw_config.pop("use_batched_propagation", None)
         config = ModelConfig(**raw_config)
         system = cls(config, meta["family_names"])
 

@@ -18,7 +18,7 @@ tag -> build CFG -> extract Table I attributes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

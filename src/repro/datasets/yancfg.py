@@ -22,7 +22,7 @@ We reproduce those generating mechanisms directly:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

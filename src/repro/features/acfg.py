@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
+import scipy.sparse
 
 from repro.cfg.graph import ControlFlowGraph
 from repro.exceptions import FeatureExtractionError
@@ -42,6 +43,12 @@ class ACFG:
     label: Optional[int] = None
     name: str = ""
     _propagation: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+    _propagation_sparse: Optional[scipy.sparse.csr_matrix] = field(
+        default=None, repr=False, compare=False
+    )
+    _augmented_sparse: Optional[scipy.sparse.csr_matrix] = field(
         default=None, repr=False, compare=False
     )
 
@@ -103,6 +110,30 @@ class ACFG:
             degrees = augmented.sum(axis=1, keepdims=True)
             self._propagation = augmented / degrees
         return self._propagation
+
+    def propagation_operator_sparse(self) -> scipy.sparse.csr_matrix:
+        """``D̂^-1 Â`` as a cached CSR matrix.
+
+        This is the form :class:`~repro.core.batched.GraphBatch` assembles
+        into its block-diagonal operator.  CFGs are sparse (out-degree is
+        bounded by the branching factor), so CSR stores ``n + |E|`` values
+        instead of ``n^2`` — assembling batches from dense blocks would
+        keep every explicit zero and make the "sparse" product slower
+        than the dense per-graph loop.
+        """
+        if self._propagation_sparse is None:
+            self._propagation_sparse = scipy.sparse.csr_matrix(
+                self.propagation_operator()
+            )
+        return self._propagation_sparse
+
+    def augmented_adjacency_sparse(self) -> scipy.sparse.csr_matrix:
+        """``Â = A + I`` as a cached CSR matrix (unnormalized ablation)."""
+        if self._augmented_sparse is None:
+            self._augmented_sparse = scipy.sparse.csr_matrix(
+                self.augmented_adjacency()
+            )
+        return self._augmented_sparse
 
     @classmethod
     def from_cfg(

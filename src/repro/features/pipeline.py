@@ -13,7 +13,7 @@ from __future__ import annotations
 import concurrent.futures
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cfg.builder import build_cfg_from_text
 from repro.cfg.graph import ControlFlowGraph
@@ -51,6 +51,19 @@ def _extract_one_from_text(
     name, text, label = item
     cfg = build_cfg_from_text(text, name=name)
     return ACFG.from_cfg(cfg, label=label)
+
+
+def _describe_failure(exc: Exception) -> str:
+    """One-line failure record for ``ExtractionReport.failures``.
+
+    Expected, domain-level failures (``MagicError`` subclasses — packed
+    samples, unparseable listings) keep their message; anything else is
+    a bug in a worker or a parser edge case, so the exception type is
+    kept for triage.  Either way the batch continues.
+    """
+    if isinstance(exc, MagicError):
+        return str(exc)
+    return f"unexpected {type(exc).__name__}: {exc}"
 
 
 class AcfgPipeline:
@@ -108,20 +121,28 @@ class AcfgPipeline:
             with concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.max_workers
             ) as pool:
+                # Futures are keyed by input *index*, not sample name:
+                # names are caller-provided and may collide, and a name
+                # key would silently drop one result and duplicate the
+                # other when two samples share a name.
                 futures = {
-                    pool.submit(worker, item): item[0] for item in items
+                    pool.submit(worker, item): index
+                    for index, item in enumerate(items)
                 }
-                results = {}
+                results: Dict[int, ACFG] = {}
+                failed: Dict[int, Tuple[str, str]] = {}
                 for future in concurrent.futures.as_completed(futures):
-                    name = futures[future]
+                    index = futures[future]
                     try:
-                        results[name] = future.result()
-                    except MagicError as exc:
-                        failures.append((name, str(exc)))
-                # Preserve input order among successes.
-                for item in items:
-                    if item[0] in results:
-                        acfgs.append(results[item[0]])
+                        results[index] = future.result()
+                    except Exception as exc:  # noqa: BLE001 — see _describe
+                        failed[index] = (items[index][0], _describe_failure(exc))
+                # Preserve input order among successes and failures alike.
+                for index in range(len(items)):
+                    if index in results:
+                        acfgs.append(results[index])
+                    else:
+                        failures.append(failed[index])
 
         elapsed = time.perf_counter() - started
         return ExtractionReport(
@@ -137,5 +158,5 @@ class AcfgPipeline:
     ) -> None:
         try:
             acfgs.append(worker(item))
-        except MagicError as exc:
-            failures.append((item[0], str(exc)))
+        except Exception as exc:  # noqa: BLE001 — tolerate any sample failure
+            failures.append((item[0], _describe_failure(exc)))

@@ -270,12 +270,16 @@ def adaptive_max_pool2d(x: Tensor, output_size: IntPair) -> Tensor:
 # sparse support
 
 
-def sparse_matmul(matrix, x: Tensor) -> Tensor:
+def sparse_matmul(matrix, x: Tensor, matrix_t=None) -> Tensor:
     """Multiply a *constant* scipy.sparse matrix with a dense tensor.
 
     Used by the block-diagonal batched graph convolution: the propagation
     operator ``D̂^-1 Â`` carries no gradient, so only the dense operand's
-    gradient (``Sᵀ · grad``) is needed.
+    gradient (``Sᵀ · grad``) is needed.  Pass ``matrix_t`` (the CSR
+    transpose of ``matrix``) when it is already available — e.g. cached
+    on a :class:`~repro.core.batched.GraphBatch` — so the backward pass
+    does not re-transpose per layer; otherwise the transpose is computed
+    lazily on first backward.
     """
     if x.ndim != 2:
         raise ShapeError(f"sparse_matmul expects a 2-D tensor, got {x.shape}")
@@ -284,10 +288,12 @@ def sparse_matmul(matrix, x: Tensor) -> Tensor:
             f"sparse matrix {matrix.shape} incompatible with tensor {x.shape}"
         )
     out_data = np.asarray(matrix @ x.data)
-    transposed = matrix.T.tocsr()
+    cache = {"t": matrix_t}
 
     def grad_fn(grad: np.ndarray):
-        return (np.asarray(transposed @ grad),)
+        if cache["t"] is None:
+            cache["t"] = matrix.T.tocsr()
+        return (np.asarray(cache["t"] @ grad),)
 
     return Tensor._make(out_data, (x,), grad_fn)
 

@@ -7,7 +7,7 @@ still *shows* the figures, not just their numbers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Tuple
 
 
 def bar_chart(

@@ -6,7 +6,11 @@ from repro.train.analysis import (
     hardest_families,
     top_confusions,
 )
-from repro.train.batching import iterate_minibatches
+from repro.train.batching import (
+    BatchCollator,
+    collate_graphs,
+    iterate_minibatches,
+)
 from repro.train.cross_validation import (
     CrossValidationResult,
     cross_validate,
@@ -32,6 +36,7 @@ from repro.train.metrics import (
 from repro.train.trainer import Trainer, TrainingConfig, TrainingHistory
 
 __all__ = [
+    "BatchCollator",
     "ClassScores",
     "ClassificationReport",
     "ConfusionPair",
@@ -48,6 +53,7 @@ __all__ = [
     "TrainingHistory",
     "amp_grid_from_ratio",
     "average_reports",
+    "collate_graphs",
     "confusion_matrix",
     "cross_validate",
     "evaluate_predictions",

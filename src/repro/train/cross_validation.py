@@ -5,12 +5,18 @@ used for training a brand new model initialized randomly, and the rest
 subset ... is used to evaluate the resultant model."  The per-epoch
 validation losses are averaged across folds and the minimum over epochs
 is the model's *score*, which hyper-parameter search compares.
+
+Every fold runs the batch-first execution path: ``Trainer`` collates
+minibatches into block-diagonal :class:`~repro.core.batched.GraphBatch`
+operators (memoized across epochs for the fixed validation chunks), so
+the 5-fold x many-epoch forward cost that dominates grid search runs at
+one sparse matmul per layer per batch.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List
 
 import numpy as np
 

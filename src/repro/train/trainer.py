@@ -16,12 +16,27 @@ import numpy as np
 
 from repro.exceptions import TrainingError
 from repro.features.acfg import ACFG
+from repro.nn.clip import clip_grad_norm
 from repro.nn.layers import Module
 from repro.nn.loss import nll_loss
 from repro.nn.lr_scheduler import ReduceLROnPlateau
 from repro.nn.optim import Adam
-from repro.train.batching import iterate_minibatches
+from repro.train.batching import BatchCollator, iterate_minibatches
 from repro.train.metrics import ClassificationReport, evaluate_predictions
+
+
+def _collator_for(model: Module) -> Optional[BatchCollator]:
+    """A memoizing collate layer when the model speaks GraphBatch.
+
+    DGCNN variants advertise ``accepts_graph_batch``; anything else (the
+    trainer stays generic over "batch-of-ACFGs" modules) keeps receiving
+    plain ACFG lists.
+    """
+    if not getattr(model, "accepts_graph_batch", False):
+        return None
+    return BatchCollator(
+        normalize_propagation=getattr(model, "normalize_propagation", True)
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -105,6 +120,9 @@ class Trainer:
         best_state: Optional[Dict[str, np.ndarray]] = None
         instances_seen = 0
         train_time = 0.0
+        # One collator for the whole run: shuffled train batches mostly
+        # miss, but the fixed validation chunks hit on every epoch.
+        collator = _collator_for(model)
 
         for epoch in range(config.epochs):
             model.train(True)
@@ -115,12 +133,10 @@ class Trainer:
             ):
                 labels = np.array([acfg.label for acfg in batch], dtype=np.int64)
                 optimizer.zero_grad()
-                log_probs = model(batch)
+                log_probs = model(collator(batch) if collator else batch)
                 loss = nll_loss(log_probs, labels)
                 loss.backward()
                 if config.grad_clip_norm is not None:
-                    from repro.nn.clip import clip_grad_norm
-
                     clip_grad_norm(model.parameters(), config.grad_clip_norm)
                 optimizer.step()
                 epoch_losses.append(loss.item())
@@ -132,7 +148,9 @@ class Trainer:
             history.learning_rates.append(optimizer.lr)
 
             if validation_acfgs:
-                validation_loss = self.evaluate_loss(model, validation_acfgs)
+                validation_loss = self.evaluate_loss(
+                    model, validation_acfgs, collator=collator
+                )
                 history.validation_losses.append(validation_loss)
                 monitored = validation_loss
             else:
@@ -157,22 +175,38 @@ class Trainer:
 
     @staticmethod
     def predict_proba(
-        model: Module, acfgs: Sequence[ACFG], batch_size: int = 64
+        model: Module,
+        acfgs: Sequence[ACFG],
+        batch_size: int = 64,
+        collator: Optional[BatchCollator] = None,
     ) -> np.ndarray:
-        """Class probabilities over ``acfgs`` (gradient-free, eval mode)."""
+        """Class probabilities over ``acfgs`` (gradient-free, eval mode).
+
+        Chunks are collated into ``GraphBatch`` objects for models that
+        accept them; pass a shared ``collator`` to reuse merged operators
+        across repeated evaluations (the training loop does this for its
+        per-epoch validation pass).
+        """
         model.train(False)
+        if collator is None:
+            collator = _collator_for(model)
         chunks = []
         for start in range(0, len(acfgs), batch_size):
             batch = list(acfgs[start : start + batch_size])
-            log_probs = model(batch)
+            log_probs = model(collator(batch) if collator else batch)
             chunks.append(np.exp(log_probs.data))
         return np.concatenate(chunks, axis=0)
 
     @classmethod
-    def evaluate_loss(cls, model: Module, acfgs: Sequence[ACFG]) -> float:
+    def evaluate_loss(
+        cls,
+        model: Module,
+        acfgs: Sequence[ACFG],
+        collator: Optional[BatchCollator] = None,
+    ) -> float:
         """Mean NLL of the true labels under the model."""
         labels = np.array([acfg.label for acfg in acfgs], dtype=np.int64)
-        probabilities = cls.predict_proba(model, acfgs)
+        probabilities = cls.predict_proba(model, acfgs, collator=collator)
         eps = 1e-15
         picked = np.clip(probabilities[np.arange(len(labels)), labels], eps, 1.0)
         return float(-np.log(picked).mean())

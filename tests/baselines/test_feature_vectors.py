@@ -1,7 +1,6 @@
 """Tests for the handcrafted aggregate feature vectors."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.feature_vectors import (
     acfg_feature_names,

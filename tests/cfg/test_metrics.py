@@ -1,7 +1,5 @@
 """Tests for CFG graph metrics and DOT export."""
 
-import numpy as np
-
 from repro.cfg.builder import build_cfg_from_text
 from repro.cfg.metrics import compute_cfg_metrics, to_dot
 

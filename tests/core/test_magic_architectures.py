@@ -58,5 +58,45 @@ class TestAllArchitectures:
         magic.save(directory)
         restored = Magic.load(directory)
         assert restored.model_config.normalize_propagation is True
-        assert restored.model_config.use_batched_propagation is False
         assert restored.model_config.graph_conv_sizes == (6, 6)
+
+    def test_retired_flag_not_persisted(self, pooling, rng, tmp_path):
+        """New saves must not record the retired batching flag."""
+        import json
+        import os
+
+        magic = self.make_magic(pooling)
+        acfgs = make_acfgs(rng, count=6)
+        magic.fit(acfgs, training_config=TrainingConfig(epochs=1, batch_size=6))
+        directory = str(tmp_path / f"{pooling}-retired")
+        magic.save(directory)
+        with open(os.path.join(directory, "magic.json")) as fh:
+            meta = json.load(fh)
+        assert "use_batched_propagation" not in meta["model_config"]
+
+    def test_legacy_save_with_retired_flag_loads(self, pooling, rng, tmp_path):
+        """Archives persisted before the batch-first refactor still load."""
+        import json
+        import os
+        import warnings
+
+        magic = self.make_magic(pooling)
+        acfgs = make_acfgs(rng, count=6)
+        magic.fit(acfgs, training_config=TrainingConfig(epochs=1, batch_size=6))
+        directory = str(tmp_path / f"{pooling}-legacy")
+        magic.save(directory)
+        meta_path = os.path.join(directory, "magic.json")
+        with open(meta_path) as fh:
+            meta = json.load(fh)
+        meta["model_config"]["use_batched_propagation"] = False
+        with open(meta_path, "w") as fh:
+            json.dump(meta, fh)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the legacy key must load quietly
+            restored = Magic.load(directory)
+        np.testing.assert_allclose(
+            magic.predict_proba(acfgs[:3]),
+            restored.predict_proba(acfgs[:3]),
+            atol=1e-12,
+        )

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cfg.builder import build_cfg_from_text
 from repro.exceptions import MagicError
-from repro.features.pipeline import AcfgPipeline
+from repro.features.pipeline import AcfgPipeline, _extract_one_from_text
 
 from tests.conftest import SAMPLE_ASM
 
@@ -57,6 +57,56 @@ class TestParallelExtraction:
     def test_invalid_worker_count(self):
         with pytest.raises(MagicError):
             AcfgPipeline(max_workers=0)
+
+
+class TestDuplicateNames:
+    """Samples sharing a name must all survive extraction.
+
+    Regression test: futures used to be keyed by sample name, so two
+    samples named alike collapsed into one result.
+    """
+
+    @pytest.mark.parametrize("max_workers", [1, 4])
+    def test_duplicate_names_all_extracted(self, max_workers):
+        samples = [("dup", SAMPLE_ASM, i) for i in range(4)]
+        report = AcfgPipeline(max_workers=max_workers).extract_from_texts(samples)
+        assert report.num_succeeded == 4
+        assert [a.label for a in report.acfgs] == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("max_workers", [1, 3])
+    def test_duplicate_names_with_failures(self, max_workers):
+        samples = [
+            ("dup", SAMPLE_ASM, 0),
+            ("dup", "", 1),  # fails: empty program
+            ("dup", SAMPLE_ASM, 2),
+        ]
+        report = AcfgPipeline(max_workers=max_workers).extract_from_texts(samples)
+        assert report.num_succeeded == 2
+        assert report.num_failed == 1
+        assert [a.label for a in report.acfgs] == [0, 2]
+
+
+class TestUnexpectedWorkerErrors:
+    """Non-MagicError exceptions are recorded as failures, not raised."""
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_raising_worker_recorded_in_failures(self, max_workers):
+        def worker(item):
+            name = item[0]
+            if name == "boom":
+                raise ValueError("parser blew up")
+            return _extract_one_from_text(item)
+
+        samples = [GOOD, ("boom", SAMPLE_ASM, 1), ("tail", SAMPLE_ASM, 2)]
+        report = AcfgPipeline(max_workers=max_workers)._run(samples, worker)
+        assert report.num_succeeded == 2
+        assert report.num_failed == 1
+        name, message = report.failures[0]
+        assert name == "boom"
+        assert "ValueError" in message
+        assert "parser blew up" in message
+        # Successes on either side of the failure are both kept, in order.
+        assert [a.name for a in report.acfgs] == ["good", "tail"]
 
 
 class TestCfgIngestion:

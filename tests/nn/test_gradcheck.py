@@ -5,7 +5,6 @@ is checked against central differences at ~1e-6 precision.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -9,8 +9,6 @@ from repro.nn.layers import (
     Conv2d,
     Dropout,
     Linear,
-    Module,
-    Parameter,
     ReLU,
     Sequential,
     Tanh,

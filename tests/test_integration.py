@@ -14,7 +14,7 @@ from repro.datasets import (
     generate_mskcfg_listings,
     generate_yancfg_dataset,
 )
-from repro.train.trainer import Trainer, TrainingConfig
+from repro.train.trainer import TrainingConfig
 
 
 @pytest.fixture(scope="module")

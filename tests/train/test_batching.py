@@ -1,11 +1,11 @@
-"""Tests for minibatch iteration."""
+"""Tests for minibatch iteration and the memoizing collate layer."""
 
 import numpy as np
 import pytest
 
 from repro.exceptions import TrainingError
 from repro.features.acfg import ACFG
-from repro.train.batching import iterate_minibatches
+from repro.train.batching import BatchCollator, collate_graphs, iterate_minibatches
 
 
 def make_acfgs(n):
@@ -47,3 +47,59 @@ class TestMinibatches:
     def test_invalid_batch_size(self):
         with pytest.raises(TrainingError):
             list(iterate_minibatches(make_acfgs(3), 0))
+
+
+class TestCollateGraphs:
+    def test_builds_graph_batch(self):
+        batch = collate_graphs(make_acfgs(3))
+        assert batch.num_graphs == 3
+        assert batch.normalized is True
+
+    def test_unnormalized(self):
+        batch = collate_graphs(make_acfgs(2), normalize_propagation=False)
+        assert batch.normalized is False
+
+
+class TestBatchCollator:
+    def test_cache_hit_returns_same_object(self):
+        acfgs = make_acfgs(4)
+        collator = BatchCollator()
+        first = collator(acfgs)
+        assert collator(acfgs) is first
+        assert (collator.hits, collator.misses) == (1, 1)
+
+    def test_different_order_is_different_batch(self):
+        acfgs = make_acfgs(3)
+        collator = BatchCollator()
+        forward = collator(acfgs)
+        backward = collator(list(reversed(acfgs)))
+        assert backward is not forward
+        assert collator.misses == 2
+
+    def test_eviction_bound(self):
+        acfgs = make_acfgs(6)
+        collator = BatchCollator(max_entries=2)
+        collator([acfgs[0]])
+        collator([acfgs[1]])
+        collator([acfgs[2]])  # evicts the [acfgs[0]] entry (FIFO)
+        assert len(collator) == 2
+        collator([acfgs[0]])
+        assert collator.hits == 0 and collator.misses == 4
+
+    def test_zero_entries_disables_caching(self):
+        acfgs = make_acfgs(2)
+        collator = BatchCollator(max_entries=0)
+        first = collator(acfgs)
+        second = collator(acfgs)
+        assert second is not first
+        assert len(collator) == 0
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(TrainingError):
+            BatchCollator(max_entries=-1)
+
+    def test_clear(self):
+        collator = BatchCollator()
+        collator(make_acfgs(2))
+        collator.clear()
+        assert len(collator) == 0

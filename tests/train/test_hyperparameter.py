@@ -1,6 +1,5 @@
 """Tests for the Table II hyper-parameter grid and grid search."""
 
-import numpy as np
 import pytest
 
 from repro.core.dgcnn import (

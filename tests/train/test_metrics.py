@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.exceptions import TrainingError
 from repro.train.metrics import (
-    ClassificationReport,
     average_reports,
     confusion_matrix,
     evaluate_predictions,
