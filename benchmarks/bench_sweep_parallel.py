@@ -1,0 +1,132 @@
+"""Sweep engine: process-pool parallel grid search vs the serial loop.
+
+Engineering benchmark behind the parallel sweep engine
+(``repro.train.sweep``).  The paper's Table II selection is 208 settings
+x 5 folds = 1040 independent training runs; the sweep executor fans the
+(setting x fold) product over ``n_jobs`` worker processes.  This bench
+times a reduced grid both ways, *verifies the parallel ranking and
+per-fold validation losses are bit-for-bit equal to the serial ones*,
+and persists the measurement to ``output/BENCH_sweep.json``.
+
+The speedup is bounded by physical parallelism: on a single-CPU
+substrate the pool adds fork/pickle overhead and can only break even,
+so the artifact records ``cpu_count`` alongside the timings and the
+honest ``parallel_faster`` verdict for the machine that ran it.
+
+Run standalone::
+
+    PYTHONPATH=src:. python benchmarks/bench_sweep_parallel.py \
+        --settings 4 --n-jobs 2
+
+or via pytest (reduced scale): ``pytest benchmarks/bench_sweep_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.datasets import generate_mskcfg_dataset
+from repro.train import GridSearch, SweepExecutor, reduced_table2_grid, setting_key
+
+from benchmarks.bench_common import save_result
+
+
+def _search(dataset, folds: int, epochs: int, hidden_size: int, seed: int) -> GridSearch:
+    return GridSearch(
+        dataset, epochs=epochs, n_splits=folds, hidden_size=hidden_size, seed=seed
+    )
+
+
+def run_bench(
+    total: int = 90,
+    settings_count: int = 4,
+    folds: int = 2,
+    epochs: int = 6,
+    hidden_size: int = 16,
+    n_jobs: int = 2,
+    seed: int = 3,
+) -> dict:
+    dataset = generate_mskcfg_dataset(
+        total=total, seed=seed, minimum_per_family=folds + 2
+    )
+    settings = reduced_table2_grid(limit=settings_count)
+
+    started = time.perf_counter()
+    serial = _search(dataset, folds, epochs, hidden_size, seed).run(settings)
+    serial_seconds = time.perf_counter() - started
+
+    sweep = SweepExecutor(
+        _search(dataset, folds, epochs, hidden_size, seed), n_jobs=n_jobs
+    ).run(settings)
+    parallel = sweep.grid_result
+    parallel_seconds = sweep.wall_seconds
+
+    # Equivalence before timing claims: same ranking, same per-fold
+    # validation-loss trajectories, exact float equality.
+    assert not sweep.failures, sweep.failures
+    serial_rank = [setting_key(e.setting) for e in serial.ranking()]
+    parallel_rank = [setting_key(e.setting) for e in parallel.ranking()]
+    assert serial_rank == parallel_rank
+    for a, b in zip(serial.entries, parallel.entries):
+        assert a.score == b.score
+        for ha, hb in zip(a.result.fold_histories, b.result.fold_histories):
+            assert ha.validation_losses == hb.validation_losses
+
+    payload = {
+        "settings": len(settings),
+        "folds": folds,
+        "epochs": epochs,
+        "corpus_size": len(dataset),
+        "total_fold_runs": len(settings) * folds,
+        "n_jobs": n_jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 3),
+        "parallel_faster": parallel_seconds < serial_seconds,
+        "bitwise_equivalent": True,
+        "best_setting": serial.best.setting.describe(),
+    }
+    path = save_result("BENCH_sweep", payload)
+    print(f"serial  {serial_seconds:7.2f}s")
+    print(f"parallel{parallel_seconds:7.2f}s  (n_jobs={n_jobs}, "
+          f"{os.cpu_count()} CPUs visible)")
+    print(f"speedup {payload['speedup']}x — rankings bit-for-bit equal")
+    print(f"written to {path}")
+    return payload
+
+
+def test_sweep_parallel_matches_serial():
+    """CI smoke: parallel execution is equivalent; timings are recorded."""
+    payload = run_bench(
+        total=45, settings_count=4, folds=2, epochs=2, hidden_size=8, n_jobs=2
+    )
+    assert payload["bitwise_equivalent"]
+    assert payload["total_fold_runs"] == 8
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--total", type=int, default=90)
+    parser.add_argument("--settings", type=int, default=4)
+    parser.add_argument("--folds", type=int, default=2)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--hidden-size", type=int, default=16)
+    parser.add_argument("--n-jobs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+    run_bench(
+        total=args.total,
+        settings_count=args.settings,
+        folds=args.folds,
+        epochs=args.epochs,
+        hidden_size=args.hidden_size,
+        n_jobs=args.n_jobs,
+        seed=args.seed,
+    )
+
+
+if __name__ == "__main__":
+    main()

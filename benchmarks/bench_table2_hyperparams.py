@@ -9,19 +9,9 @@ loss), verifying the grid structure matches Table II exactly and
 recording the winner.
 """
 
-from repro.train.hyperparameter import GridSearch, table2_grid
+from repro.train.hyperparameter import GridSearch, reduced_table2_grid, table2_grid
 
 from benchmarks.bench_common import save_result
-
-
-def reduced_settings():
-    seen, settings = set(), []
-    for setting in table2_grid():
-        key = (setting.pooling, setting.pooling_ratio)
-        if key not in seen:
-            seen.add(key)
-            settings.append(setting)
-    return settings
 
 
 def test_table2_grid_search(benchmark, mskcfg_bench):
@@ -36,7 +26,7 @@ def test_table2_grid_search(benchmark, mskcfg_bench):
     subset_indices = list(range(0, len(mskcfg_bench), 2))
     subset = mskcfg_bench.subset(subset_indices)
 
-    settings = reduced_settings()
+    settings = reduced_table2_grid()
     search = GridSearch(subset, epochs=12, n_splits=3, hidden_size=32, seed=3)
 
     result = benchmark.pedantic(

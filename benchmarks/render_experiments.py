@@ -81,6 +81,19 @@ def render_table2() -> str:
         out.append(f"| {rank} | {entry['score']:.4f} | "
                    f"{entry['accuracy']:.3f} | `{entry['setting']}` |\n")
     out.append(f"\nSelected: `{data['best']}`.\n")
+    sweep = load("BENCH_sweep")
+    if sweep:
+        out.append(
+            f"\nSweep wall-clock (`bench_sweep_parallel.py`, "
+            f"{sweep['settings']} settings x {sweep['folds']} folds = "
+            f"{sweep['total_fold_runs']} fold runs): serial "
+            f"{sweep['serial_seconds']:.1f} s vs parallel "
+            f"{sweep['parallel_seconds']:.1f} s with "
+            f"`n_jobs={sweep['n_jobs']}` ({sweep['speedup']}x, "
+            f"{sweep['cpu_count']} CPU(s) visible; rankings bit-for-bit "
+            f"equal).  The (setting x fold) pool scales with physical "
+            f"cores — on a single-CPU substrate it can only break even.\n"
+        )
     return "".join(out)
 
 

@@ -8,6 +8,8 @@ then classify unknown binaries' listings — as four subcommands:
 * ``train``    — train a MAGIC instance on a synthetic corpus (or a
   directory of cached CFGs named ``<family>__<id>.json``) and persist it.
 * ``predict``  — classify listings with a persisted model.
+* ``sweep``    — Table II-style hyper-parameter sweep with ``--n-jobs``
+  process-pool parallelism and ``--journal``/``--resume`` checkpointing.
 
 Run ``python -m repro.cli --help`` for usage.
 """
@@ -141,6 +143,70 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Grid-search a reduced Table II sweep, optionally in parallel.
+
+    Each (setting, fold) pair is an independent work unit; ``--n-jobs``
+    fans them over a process pool and ``--journal`` checkpoints every
+    completed fold so ``--resume`` skips finished work after an
+    interruption.  Results are identical to a serial run.
+    """
+    import json
+
+    from repro.train import GridSearch, reduced_table2_grid, setting_key
+
+    if args.dataset == "mskcfg":
+        from repro.datasets import generate_mskcfg_dataset as generate
+    else:
+        from repro.datasets import generate_yancfg_dataset as generate
+    dataset = generate(
+        total=args.total, seed=args.seed, minimum_per_family=args.folds + 2
+    )
+    settings = reduced_table2_grid(limit=args.settings)
+
+    def progress(position, count, setting, score):
+        print(f"[{position}/{count}] score={score:.4f}  {setting.describe()}")
+
+    search = GridSearch(
+        dataset,
+        epochs=args.epochs,
+        n_splits=args.folds,
+        seed=args.seed,
+        hidden_size=args.hidden_size,
+        progress=progress,
+    )
+    result = search.run(
+        settings, n_jobs=args.n_jobs, journal=args.journal, resume=args.resume
+    )
+
+    print(f"\nRanking ({len(result.entries)} settings, "
+          f"{args.folds}-fold CV, n_jobs={args.n_jobs}):")
+    rows = []
+    for rank, entry in enumerate(result.ranking(), start=1):
+        print(f"  {rank}. score={entry.score:.4f}  "
+              f"accuracy={entry.result.accuracy:.3f}  "
+              f"{entry.setting.describe()}")
+        rows.append({
+            "rank": rank,
+            "setting_key": setting_key(entry.setting),
+            "setting": entry.setting.describe(),
+            "score": entry.score,
+            "accuracy": entry.result.accuracy,
+            "fold_validation_losses": [
+                h.validation_losses for h in entry.result.fold_histories
+            ],
+        })
+    for failure in result.failures:
+        print(f"FAILED {failure.setting.describe()} fold {failure.fold_index} "
+              f"after {failure.attempts} attempts: {failure.error}",
+              file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump({"ranking": rows}, handle, indent=2)
+        print(f"Ranking written to {args.output}")
+    return 1 if result.failures else 0
+
+
 def cmd_predict(args: argparse.Namespace) -> int:
     """Classify listings in one batched forward pass.
 
@@ -206,6 +272,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--seed", type=int, default=0)
     p_train.add_argument("--model-dir", required=True)
     p_train.set_defaults(func=cmd_train)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="parallel hyper-parameter sweep with checkpoint/resume"
+    )
+    p_sweep.add_argument("--dataset", choices=("mskcfg", "yancfg"),
+                         default="mskcfg")
+    p_sweep.add_argument("--total", type=int, default=100,
+                         help="synthetic corpus size")
+    p_sweep.add_argument("--settings", type=int, default=None,
+                         help="truncate the reduced Table II grid to N settings")
+    p_sweep.add_argument("--epochs", type=int, default=8)
+    p_sweep.add_argument("--folds", type=int, default=3)
+    p_sweep.add_argument("--hidden-size", type=int, default=32)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--n-jobs", type=int, default=1,
+                         help="worker processes for the (setting x fold) pool")
+    p_sweep.add_argument("--journal",
+                         help="JSON-lines checkpoint of completed folds")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="skip folds already recorded in --journal")
+    p_sweep.add_argument("--output", help="write the ranking as JSON")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_predict = sub.add_parser("predict", help="classify listings")
     p_predict.add_argument("--model-dir", required=True)

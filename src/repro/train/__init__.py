@@ -13,7 +13,13 @@ from repro.train.batching import (
 )
 from repro.train.cross_validation import (
     CrossValidationResult,
+    FoldResult,
+    FoldSpec,
+    assemble_cv_result,
     cross_validate,
+    cross_validate_config,
+    make_fold_specs,
+    run_fold,
 )
 from repro.train.hyperparameter import (
     GridSearch,
@@ -21,8 +27,17 @@ from repro.train.hyperparameter import (
     GridSearchResult,
     HyperparameterSetting,
     amp_grid_from_ratio,
+    dataset_invariants,
+    reduced_table2_grid,
     setting_to_model_config,
     table2_grid,
+)
+from repro.train.sweep import (
+    SweepExecutor,
+    SweepFailure,
+    SweepJournal,
+    SweepReport,
+    setting_key,
 )
 from repro.train.metrics import (
     ClassificationReport,
@@ -44,22 +59,35 @@ __all__ = [
     "hardest_families",
     "top_confusions",
     "CrossValidationResult",
+    "FoldResult",
+    "FoldSpec",
     "GridSearch",
     "GridSearchEntry",
     "GridSearchResult",
     "HyperparameterSetting",
+    "SweepExecutor",
+    "SweepFailure",
+    "SweepJournal",
+    "SweepReport",
     "Trainer",
     "TrainingConfig",
     "TrainingHistory",
     "amp_grid_from_ratio",
+    "assemble_cv_result",
     "average_reports",
     "collate_graphs",
     "confusion_matrix",
     "cross_validate",
+    "cross_validate_config",
+    "dataset_invariants",
     "evaluate_predictions",
     "iterate_minibatches",
     "log_loss",
+    "make_fold_specs",
     "precision_recall_f1",
+    "reduced_table2_grid",
+    "run_fold",
+    "setting_key",
     "setting_to_model_config",
     "table2_grid",
 ]

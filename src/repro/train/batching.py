@@ -98,6 +98,7 @@ class BatchCollator:
     def collate(self, acfgs: Sequence[ACFG]) -> GraphBatch:
         """Return the (possibly cached) ``GraphBatch`` for these graphs."""
         if self.max_entries == 0:
+            self.misses += 1
             return collate_graphs(acfgs, self.normalize_propagation)
         key = tuple(id(acfg) for acfg in acfgs)
         entry = self._cache.get(key)

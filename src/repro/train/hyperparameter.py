@@ -26,12 +26,14 @@ from repro.core.dgcnn import (
     POOLING_SORT_CONV1D,
     POOLING_SORT_WEIGHTED,
     ModelConfig,
-    build_model,
 )
 from repro.core.sort_pooling import resolve_sort_pooling_k
 from repro.datasets.loader import MalwareDataset
 from repro.exceptions import ConfigurationError
-from repro.train.cross_validation import CrossValidationResult, cross_validate
+from repro.train.cross_validation import (
+    CrossValidationResult,
+    cross_validate_config,
+)
 from repro.train.trainer import TrainingConfig
 
 
@@ -143,6 +145,46 @@ def table2_grid() -> List[HyperparameterSetting]:
     return settings
 
 
+def reduced_table2_grid(limit: Optional[int] = None) -> List[HyperparameterSetting]:
+    """A structurally representative slice of Table II.
+
+    One grid point per (pooling, pooling-ratio) cell — six settings, two
+    per architecture — covering every pooling type and both ratios while
+    staying sweepable on a laptop.  ``limit`` truncates further (smoke
+    tests and benchmarks use 2-4 settings).
+    """
+    seen = set()
+    settings: List[HyperparameterSetting] = []
+    for setting in table2_grid():
+        key = (setting.pooling, setting.pooling_ratio)
+        if key in seen:
+            continue
+        seen.add(key)
+        settings.append(setting)
+    if limit is not None:
+        settings = settings[:limit]
+    return settings
+
+
+def dataset_invariants(dataset: MalwareDataset) -> Tuple[int, List[int]]:
+    """Validated ``(num_attributes, graph_sizes)``, hoisted once per sweep.
+
+    Every grid point needs the attribute width (model input channels)
+    and the graph-size distribution (SortPooling ``k`` resolution); both
+    are dataset-level invariants, so sweeps compute them here once
+    instead of per setting.  Raises :class:`ConfigurationError` — rather
+    than an ``IndexError`` deep inside the first setting — when the
+    dataset has no ACFGs (e.g. a corpus container emptied after
+    construction).
+    """
+    if not dataset.acfgs:
+        raise ConfigurationError(
+            "dataset contains no ACFGs: cannot derive model dimensions "
+            "for a hyper-parameter sweep over an empty corpus"
+        )
+    return dataset.acfgs[0].num_attributes, dataset.graph_sizes()
+
+
 def amp_grid_from_ratio(ratio: float) -> Tuple[int, int]:
     """Map a Table II pooling ratio to an AMP output grid.
 
@@ -205,7 +247,17 @@ class GridSearchEntry:
 
 @dataclasses.dataclass
 class GridSearchResult:
+    """Ranked sweep outcome.
+
+    ``failures`` mirrors ``ExtractionReport.failures`` from the ACFG
+    pipeline: settings whose folds kept raising after a retry are
+    reported here (as :class:`~repro.train.sweep.SweepFailure` records)
+    instead of aborting the sweep; they carry no entry.  The serial
+    path never populates it — a raising fold propagates immediately.
+    """
+
     entries: List[GridSearchEntry]
+    failures: List = dataclasses.field(default_factory=list)
 
     @property
     def best(self) -> GridSearchEntry:
@@ -240,36 +292,67 @@ class GridSearch:
         self.hidden_size = hidden_size
         self.progress = progress
 
-    def run(self, settings: Iterable[HyperparameterSetting]) -> GridSearchResult:
+    def configs_for(
+        self,
+        setting: HyperparameterSetting,
+        num_attributes: int,
+        graph_sizes: Sequence[int],
+    ) -> Tuple[ModelConfig, TrainingConfig]:
+        """Resolve one grid point into its model and training configs.
+
+        Shared by the serial loop below and the parallel
+        :class:`~repro.train.sweep.SweepExecutor`, so both paths train
+        from byte-identical configurations.
+        """
+        model_config = setting_to_model_config(
+            setting,
+            num_attributes=num_attributes,
+            num_classes=self.dataset.num_classes,
+            graph_sizes=graph_sizes,
+            hidden_size=self.hidden_size,
+            seed=self.seed,
+        )
+        training_config = TrainingConfig(
+            epochs=self.epochs,
+            batch_size=setting.batch_size,
+            learning_rate=self.learning_rate,
+            weight_decay=setting.weight_decay,
+            seed=self.seed,
+        )
+        return model_config, training_config
+
+    def run(
+        self,
+        settings: Iterable[HyperparameterSetting],
+        n_jobs: int = 1,
+        journal: Optional[str] = None,
+        resume: bool = False,
+    ) -> GridSearchResult:
+        """Evaluate ``settings``; serial by default.
+
+        ``n_jobs > 1`` fans the (setting x fold) product out over a
+        process pool; a ``journal`` path checkpoints completed folds so
+        ``resume=True`` skips them on a re-run.  Either option routes
+        through :class:`~repro.train.sweep.SweepExecutor`, whose results
+        are bit-for-bit identical to this serial loop's.
+        """
         settings = list(settings)
+        if n_jobs != 1 or journal is not None:
+            from repro.train.sweep import SweepExecutor  # avoid import cycle
+
+            executor = SweepExecutor(
+                self, n_jobs=n_jobs, journal_path=journal, resume=resume
+            )
+            return executor.run(settings).grid_result
+
         entries: List[GridSearchEntry] = []
-        num_attributes = self.dataset.acfgs[0].num_attributes
-        graph_sizes = self.dataset.graph_sizes()
-
+        num_attributes, graph_sizes = dataset_invariants(self.dataset)
         for position, setting in enumerate(settings):
-            model_config = setting_to_model_config(
-                setting,
-                num_attributes=num_attributes,
-                num_classes=self.dataset.num_classes,
-                graph_sizes=graph_sizes,
-                hidden_size=self.hidden_size,
-                seed=self.seed,
+            model_config, training_config = self.configs_for(
+                setting, num_attributes, graph_sizes
             )
-            training_config = TrainingConfig(
-                epochs=self.epochs,
-                batch_size=setting.batch_size,
-                learning_rate=self.learning_rate,
-                weight_decay=setting.weight_decay,
-                seed=self.seed,
-            )
-
-            def factory(fold: int, base=model_config) -> object:
-                return build_model(
-                    dataclasses.replace(base, seed=self.seed + 1000 * fold)
-                )
-
-            result = cross_validate(
-                factory,
+            result = cross_validate_config(
+                model_config,
                 self.dataset,
                 training_config,
                 n_splits=self.n_splits,

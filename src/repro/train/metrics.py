@@ -68,6 +68,32 @@ class ClassificationReport:
             raise TrainingError("report carries no family names")
         return dict(zip(self.family_names, self.per_class))
 
+    def to_dict(self) -> Dict:
+        """JSON-ready form for the sweep checkpoint journal.
+
+        Floats round-trip exactly through JSON (Python's repr), so a
+        journaled report reproduces the in-memory one bit for bit.
+        """
+        return {
+            "per_class": [dataclasses.asdict(c) for c in self.per_class],
+            "accuracy": self.accuracy,
+            "log_loss": self.log_loss,
+            "confusion": self.confusion.tolist(),
+            "family_names": (
+                list(self.family_names) if self.family_names is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ClassificationReport":
+        return cls(
+            per_class=[ClassScores(**c) for c in payload["per_class"]],
+            accuracy=payload["accuracy"],
+            log_loss=payload["log_loss"],
+            confusion=np.asarray(payload["confusion"], dtype=np.int64),
+            family_names=payload["family_names"],
+        )
+
     def format_table(self) -> str:
         """Render in the layout of Table III / Table V."""
         names = self.family_names or [

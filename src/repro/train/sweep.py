@@ -1,0 +1,458 @@
+"""Process-pool hyper-parameter sweep engine (Section V-B at scale).
+
+The paper's model selection exhaustively cross-validates 208 settings
+five-fold — 1040 independent training runs whose serial execution the
+grid-search docstring calls "a multi-day run" on CPU.  Every (setting,
+fold) pair is an embarrassingly parallel work unit, so this module fans
+the product out over a ``ProcessPoolExecutor``:
+
+* :class:`SweepExecutor` drives a :class:`~repro.train.hyperparameter.GridSearch`
+  configuration over ``n_jobs`` worker processes, executing
+  :func:`~repro.train.cross_validation.run_fold` on pickle-able
+  :class:`~repro.train.cross_validation.FoldSpec` units and reassembling
+  ``CrossValidationResult``/``GridSearchResult`` from the completed
+  folds.  Seeds derive per fold exactly as in the serial loop, so the
+  parallel sweep is bit-for-bit equivalent to ``GridSearch.run``.
+* :class:`SweepJournal` checkpoints every completed fold to a JSON-lines
+  file (setting content-hash + fold index + full history/report), so an
+  interrupted multi-day sweep resumes without redoing finished work.
+* A fold that raises is retried once and then recorded as a
+  :class:`SweepFailure` — mirroring ``ExtractionReport.failures`` from
+  the ACFG pipeline — without aborting the rest of the sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.datasets.loader import MalwareDataset
+from repro.exceptions import ConfigurationError
+from repro.train.cross_validation import (
+    FoldResult,
+    FoldSpec,
+    assemble_cv_result,
+    make_fold_specs,
+    run_fold,
+)
+from repro.train.hyperparameter import (
+    GridSearch,
+    GridSearchEntry,
+    GridSearchResult,
+    HyperparameterSetting,
+    dataset_invariants,
+)
+from repro.train.metrics import ClassificationReport
+from repro.train.trainer import TrainingHistory
+
+#: Journal schema version; bumped on incompatible format changes.
+JOURNAL_VERSION = 1
+
+
+def setting_key(setting: HyperparameterSetting) -> str:
+    """Stable content hash of one grid point.
+
+    Keys journal entries, so a resumed sweep recognizes finished folds
+    across processes and grid reorderings (the key depends only on the
+    setting's values, not its position in the sweep).
+    """
+    canonical = json.dumps(dataclasses.asdict(setting), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclasses.dataclass
+class SweepFailure:
+    """A (setting, fold) that kept raising after its retry."""
+
+    setting_key: str
+    setting: HyperparameterSetting
+    fold_index: int
+    error: str
+    attempts: int
+
+
+@dataclasses.dataclass
+class SweepReport:
+    """Everything a sweep run produced, beyond the ranking itself."""
+
+    grid_result: GridSearchResult
+    failures: List[SweepFailure]
+    total_folds: int
+    executed_folds: int
+    resumed_folds: int
+    wall_seconds: float
+
+
+# ----------------------------------------------------------------------
+# checkpoint journal
+
+
+class SweepJournal:
+    """Append-only JSON-lines checkpoint of completed folds.
+
+    Line 1 is a header fingerprinting the run (fold count, epochs,
+    optimizer settings, dataset shape); resuming against a journal whose
+    fingerprint differs raises :class:`ConfigurationError` rather than
+    silently mixing incompatible results.  Every subsequent line is one
+    completed fold — setting content-hash, fold index, and the full
+    training history and classification report, all of which round-trip
+    through JSON with exact float equality.  A truncated final line
+    (the sweep was killed mid-write) is ignored on load.
+    """
+
+    def __init__(self, path: str, fingerprint: Dict) -> None:
+        self.path = path
+        self.fingerprint = dict(fingerprint, version=JOURNAL_VERSION)
+        self._handle = None
+
+    # -- reading ------------------------------------------------------
+
+    def load_completed(self) -> Dict[Tuple[str, int], FoldResult]:
+        """Completed folds recorded by a previous run, keyed by
+        ``(setting_key, fold_index)``; empty when the journal is absent."""
+        if not os.path.exists(self.path):
+            return {}
+        completed: Dict[Tuple[str, int], FoldResult] = {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"sweep journal {self.path!r} has an unreadable header: {exc}"
+            )
+        if header.get("kind") != "header":
+            raise ConfigurationError(
+                f"sweep journal {self.path!r} does not start with a header line"
+            )
+        recorded = {k: v for k, v in header.items() if k != "kind"}
+        if recorded != self.fingerprint:
+            raise ConfigurationError(
+                "sweep journal fingerprint mismatch — the journal at "
+                f"{self.path!r} was written by a sweep configured as "
+                f"{recorded}, but this run is {self.fingerprint}; refusing "
+                "to resume across incompatible configurations"
+            )
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line from a killed run
+            if record.get("kind") != "fold":
+                continue  # failure records are re-attempted, not resumed
+            completed[(record["setting"], record["fold"])] = FoldResult(
+                fold_index=record["fold"],
+                history=TrainingHistory.from_dict(record["history"]),
+                report=ClassificationReport.from_dict(record["report"]),
+            )
+        return completed
+
+    # -- writing ------------------------------------------------------
+
+    def open_for_append(self, fresh: bool) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        mode = "w" if fresh or not os.path.exists(self.path) else "a"
+        self._handle = open(self.path, mode, encoding="utf-8")
+        if mode == "w":
+            self._write_line(dict({"kind": "header"}, **self.fingerprint))
+
+    def record_fold(self, key: str, result: FoldResult) -> None:
+        self._write_line(
+            {
+                "kind": "fold",
+                "setting": key,
+                "fold": result.fold_index,
+                "history": result.history.to_dict(),
+                "report": result.report.to_dict(),
+            }
+        )
+
+    def record_failure(self, key: str, fold_index: int, error: str,
+                       attempts: int) -> None:
+        self._write_line(
+            {
+                "kind": "failure",
+                "setting": key,
+                "fold": fold_index,
+                "error": error,
+                "attempts": attempts,
+            }
+        )
+
+    def _write_line(self, record: Dict) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()  # survive a kill between folds
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ----------------------------------------------------------------------
+# worker side
+
+_POOL_DATASET: Optional[MalwareDataset] = None
+
+
+def _pool_init(dataset: MalwareDataset) -> None:
+    """Ship the dataset once per worker (not once per fold)."""
+    global _POOL_DATASET
+    _POOL_DATASET = dataset
+
+
+def _run_fold_task(
+    payload: Tuple[int, str, FoldSpec],
+) -> Tuple[int, str, int, Optional[FoldResult], Optional[str]]:
+    """Execute one fold in a pool worker; never raises.
+
+    Errors come back as strings so a failing fold costs one work unit,
+    not the pool (an exception escaping a worker can poison the whole
+    executor), and so the parent can apply its retry-then-report policy.
+    """
+    setting_index, key, spec = payload
+    try:
+        return setting_index, key, spec.fold_index, run_fold(spec, _POOL_DATASET), None
+    except Exception as exc:  # noqa: BLE001 — fault isolation boundary
+        return (
+            setting_index,
+            key,
+            spec.fold_index,
+            None,
+            f"{type(exc).__name__}: {exc}",
+        )
+
+
+# ----------------------------------------------------------------------
+# executor
+
+
+class SweepExecutor:
+    """Fan a grid search's (setting x fold) product over a process pool.
+
+    Built on a :class:`GridSearch` so model/training configurations are
+    resolved by exactly the code the serial path uses; ``n_jobs=1`` runs
+    the same work units in-process (useful with a journal but without
+    multiprocessing).  Results are reassembled in fold order, making the
+    outcome independent of completion order and bit-for-bit equal to
+    ``GridSearch.run``.
+    """
+
+    def __init__(
+        self,
+        search: GridSearch,
+        n_jobs: int = 1,
+        journal_path: Optional[str] = None,
+        resume: bool = False,
+        max_retries: int = 1,
+        fold_progress: Optional[Callable[[int, int, HyperparameterSetting, int], None]] = None,
+    ) -> None:
+        if n_jobs < 1:
+            raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        self.search = search
+        self.n_jobs = n_jobs
+        self.journal_path = journal_path
+        self.resume = resume
+        self.max_retries = max_retries
+        self.fold_progress = fold_progress
+
+    # -- plumbing -----------------------------------------------------
+
+    def _fingerprint(self) -> Dict:
+        search = self.search
+        return {
+            "n_splits": search.n_splits,
+            "epochs": search.epochs,
+            "learning_rate": search.learning_rate,
+            "hidden_size": search.hidden_size,
+            "seed": search.seed,
+            "dataset_size": len(search.dataset),
+            "num_classes": search.dataset.num_classes,
+        }
+
+    def _plan(
+        self, settings: List[HyperparameterSetting]
+    ) -> List[Tuple[int, str, FoldSpec]]:
+        """Every (setting, fold) work unit, in deterministic order."""
+        search = self.search
+        num_attributes, graph_sizes = dataset_invariants(search.dataset)
+        tasks: List[Tuple[int, str, FoldSpec]] = []
+        for setting_index, setting in enumerate(settings):
+            model_config, training_config = search.configs_for(
+                setting, num_attributes, graph_sizes
+            )
+            key = setting_key(setting)
+            for spec in make_fold_specs(
+                search.dataset,
+                training_config,
+                model_config=model_config,
+                n_splits=search.n_splits,
+                seed=search.seed,
+            ):
+                tasks.append((setting_index, key, spec))
+        return tasks
+
+    # -- execution ----------------------------------------------------
+
+    def run(self, settings: Iterable[HyperparameterSetting]) -> SweepReport:
+        settings = list(settings)
+        started = time.perf_counter()
+        tasks = self._plan(settings)
+
+        journal: Optional[SweepJournal] = None
+        completed: Dict[Tuple[str, int], FoldResult] = {}
+        if self.journal_path is not None:
+            journal = SweepJournal(self.journal_path, self._fingerprint())
+            if self.resume:
+                completed = journal.load_completed()
+            journal.open_for_append(fresh=not self.resume)
+
+        pending = [t for t in tasks if (t[1], t[2].fold_index) not in completed]
+        resumed_folds = len(tasks) - len(pending)
+        failures: List[SweepFailure] = []
+        # (setting_index, fold_index) -> FoldResult for this run's work.
+        executed: Dict[Tuple[int, int], FoldResult] = {}
+
+        def on_done(setting_index: int, key: str, fold_index: int,
+                    result: Optional[FoldResult], error: Optional[str],
+                    attempts: Dict[Tuple[int, int], int]) -> bool:
+            """Handle one worker return; True means resubmit (retry)."""
+            unit = (setting_index, fold_index)
+            if result is not None:
+                executed[unit] = result
+                if journal is not None:
+                    journal.record_fold(key, result)
+                if self.fold_progress is not None:
+                    done = len(executed) + resumed_folds
+                    self.fold_progress(
+                        done, len(tasks), settings[setting_index], fold_index
+                    )
+                return False
+            attempts[unit] = attempts.get(unit, 1)
+            if attempts[unit] <= self.max_retries:
+                attempts[unit] += 1
+                return True
+            failures.append(
+                SweepFailure(
+                    setting_key=key,
+                    setting=settings[setting_index],
+                    fold_index=fold_index,
+                    error=error or "unknown error",
+                    attempts=attempts[unit],
+                )
+            )
+            if journal is not None:
+                journal.record_failure(key, fold_index, error or "?", attempts[unit])
+            return False
+
+        try:
+            if self.n_jobs == 1:
+                self._run_serial(pending, on_done)
+            else:
+                self._run_pooled(pending, on_done)
+        finally:
+            if journal is not None:
+                journal.close()
+
+        report = self._assemble(
+            settings, completed, executed, failures, resumed_folds
+        )
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def _run_serial(self, pending, on_done) -> None:
+        attempts: Dict[Tuple[int, int], int] = {}
+        queue = list(pending)
+        while queue:
+            task = queue.pop(0)
+            outcome = _run_fold_task_local(task, self.search.dataset)
+            if on_done(*outcome, attempts):
+                queue.insert(0, task)
+
+    def _run_pooled(self, pending, on_done) -> None:
+        attempts: Dict[Tuple[int, int], int] = {}
+        with ProcessPoolExecutor(
+            max_workers=self.n_jobs,
+            initializer=_pool_init,
+            initargs=(self.search.dataset,),
+        ) as pool:
+            by_future = {
+                pool.submit(_run_fold_task, task): task for task in pending
+            }
+            while by_future:
+                done, _ = wait(by_future, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = by_future.pop(future)
+                    outcome = future.result()  # worker never raises
+                    if on_done(*outcome, attempts):
+                        by_future[pool.submit(_run_fold_task, task)] = task
+
+    # -- reassembly ---------------------------------------------------
+
+    def _assemble(
+        self,
+        settings: List[HyperparameterSetting],
+        completed: Dict[Tuple[str, int], FoldResult],
+        executed: Dict[Tuple[int, int], FoldResult],
+        failures: List[SweepFailure],
+        resumed_folds: int,
+    ) -> SweepReport:
+        search = self.search
+        entries: List[GridSearchEntry] = []
+        failed_settings = {f.setting_key for f in failures}
+        position = 0
+        for setting_index, setting in enumerate(settings):
+            key = setting_key(setting)
+            if key in failed_settings:
+                continue
+            fold_results = [
+                completed.get((key, fold), executed.get((setting_index, fold)))
+                for fold in range(search.n_splits)
+            ]
+            result = assemble_cv_result([r for r in fold_results if r is not None])
+            entries.append(GridSearchEntry(setting=setting, result=result))
+            position += 1
+            if search.progress is not None:
+                search.progress(position, len(settings), setting, result.score)
+        grid_result = GridSearchResult(entries=entries, failures=list(failures))
+        return SweepReport(
+            grid_result=grid_result,
+            failures=list(failures),
+            total_folds=len(settings) * search.n_splits,
+            executed_folds=len(executed),
+            resumed_folds=resumed_folds,
+            wall_seconds=0.0,
+        )
+
+
+def _run_fold_task_local(
+    task: Tuple[int, str, FoldSpec], dataset: MalwareDataset
+) -> Tuple[int, str, int, Optional[FoldResult], Optional[str]]:
+    """In-process twin of :func:`_run_fold_task` (the ``n_jobs=1`` path)."""
+    setting_index, key, spec = task
+    try:
+        return setting_index, key, spec.fold_index, run_fold(spec, dataset), None
+    except Exception as exc:  # noqa: BLE001 — same fault boundary as the pool
+        return (
+            setting_index,
+            key,
+            spec.fold_index,
+            None,
+            f"{type(exc).__name__}: {exc}",
+        )

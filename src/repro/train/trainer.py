@@ -78,12 +78,30 @@ class TrainingHistory:
     def num_epochs(self) -> int:
         return len(self.train_losses)
 
+    def to_dict(self) -> Dict:
+        """JSON-ready form for the sweep checkpoint journal.
+
+        Python's float repr round-trips exactly through JSON, so a
+        journaled history reproduces the in-memory one bit for bit.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TrainingHistory":
+        return cls(**payload)
+
 
 class Trainer:
     """Trains one DGCNN (or any batch-of-ACFGs model) on labelled ACFGs."""
 
     def __init__(self, config: TrainingConfig) -> None:
         self.config = config
+        #: The memoizing collate layer of the most recent ``train`` run
+        #: (``None`` before training, or for models that consume raw ACFG
+        #: lists).  Post-training evaluation passes it back into
+        #: :meth:`evaluate` so the fixed validation chunks collate once
+        #: per fold instead of once per consumer.
+        self.last_collator: Optional[BatchCollator] = None
 
     def train(
         self,
@@ -123,6 +141,7 @@ class Trainer:
         # One collator for the whole run: shuffled train batches mostly
         # miss, but the fixed validation chunks hit on every epoch.
         collator = _collator_for(model)
+        self.last_collator = collator
 
         for epoch in range(config.epochs):
             model.train(True)
@@ -133,7 +152,12 @@ class Trainer:
             ):
                 labels = np.array([acfg.label for acfg in batch], dtype=np.int64)
                 optimizer.zero_grad()
-                log_probs = model(collator(batch) if collator else batch)
+                # "is not None", not truthiness: an empty collator has
+                # __len__() == 0 and would read as False before its
+                # first entry is cached.
+                log_probs = model(
+                    collator(batch) if collator is not None else batch
+                )
                 loss = nll_loss(log_probs, labels)
                 loss.backward()
                 if config.grad_clip_norm is not None:
@@ -193,7 +217,9 @@ class Trainer:
         chunks = []
         for start in range(0, len(acfgs), batch_size):
             batch = list(acfgs[start : start + batch_size])
-            log_probs = model(collator(batch) if collator else batch)
+            log_probs = model(
+                collator(batch) if collator is not None else batch
+            )
             chunks.append(np.exp(log_probs.data))
         return np.concatenate(chunks, axis=0)
 
@@ -217,10 +243,16 @@ class Trainer:
         model: Module,
         acfgs: Sequence[ACFG],
         family_names: Optional[Sequence[str]] = None,
+        collator: Optional[BatchCollator] = None,
     ) -> ClassificationReport:
-        """Full precision/recall/F1/accuracy/log-loss report."""
+        """Full precision/recall/F1/accuracy/log-loss report.
+
+        Pass the trainer's ``last_collator`` to reuse the validation
+        chunks' memoized ``GraphBatch`` operators instead of re-collating
+        them.
+        """
         labels = np.array([acfg.label for acfg in acfgs], dtype=np.int64)
-        probabilities = cls.predict_proba(model, acfgs)
+        probabilities = cls.predict_proba(model, acfgs, collator=collator)
         return evaluate_predictions(
             labels,
             probabilities,

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
@@ -96,3 +97,23 @@ class TestTrainPredict:
     def test_missing_model_dir_errors(self, listing_file, capsys):
         assert main(["predict", "--model-dir", "/nonexistent",
                      listing_file]) == 2
+
+
+class TestSweep:
+    def test_sweep_writes_ranking_and_journal(self, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        output = str(tmp_path / "ranking.json")
+        code = main([
+            "sweep", "--dataset", "mskcfg", "--total", "24",
+            "--settings", "1", "--epochs", "1", "--folds", "2",
+            "--hidden-size", "8", "--journal", journal, "--output", output,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ranking" in out
+        assert os.path.exists(journal)
+        with open(output) as handle:
+            ranking = json.load(handle)["ranking"]
+        assert len(ranking) == 1
+        assert ranking[0]["rank"] == 1
+        assert len(ranking[0]["fold_validation_losses"]) == 2

@@ -103,3 +103,75 @@ class TestBatchCollator:
         collator(make_acfgs(2))
         collator.clear()
         assert len(collator) == 0
+
+
+class TestCollatorFifoSemantics:
+    def test_hit_does_not_refresh_fifo_position(self):
+        """The bound is FIFO by insertion, not LRU: a cache hit does not
+        rescue an entry from eviction."""
+        acfgs = make_acfgs(4)
+        collator = BatchCollator(max_entries=2)
+        collator([acfgs[0]])
+        collator([acfgs[1]])
+        collator([acfgs[0]])          # hit; FIFO position unchanged
+        collator([acfgs[2]])          # evicts [acfgs[0]] despite the hit
+        assert (collator.hits, collator.misses) == (1, 3)
+        collator([acfgs[1]])          # survived: inserted after acfgs[0]
+        assert collator.hits == 2
+        collator([acfgs[0]])          # evicted: re-collates
+        assert collator.misses == 4
+
+    def test_max_entries_zero_counts_misses_only(self):
+        acfgs = make_acfgs(2)
+        collator = BatchCollator(max_entries=0)
+        collator(acfgs)
+        collator(acfgs)
+        assert (collator.hits, collator.misses) == (0, 2)
+        assert len(collator) == 0
+
+
+class TestTrainerValidationMemoization:
+    """Locks in the PR 1 win: the per-epoch validation pass collates once."""
+
+    def make_labelled_acfgs(self, rng, count, label):
+        acfgs = []
+        for i in range(count):
+            n = int(rng.integers(4, 8))
+            adjacency = (rng.random((n, n)) < 0.4).astype(float)
+            np.fill_diagonal(adjacency, 0.0)
+            attributes = rng.standard_normal((n, 11)) + 2.0 * label
+            acfgs.append(
+                ACFG(adjacency=adjacency, attributes=attributes,
+                     label=label, name=f"m{label}_{i}")
+            )
+        return acfgs
+
+    def test_validation_chunks_hit_cache_after_first_epoch(self):
+        from repro.core.dgcnn import ModelConfig, build_model
+        from repro.train.trainer import Trainer, TrainingConfig
+
+        rng = np.random.default_rng(5)
+        train = self.make_labelled_acfgs(rng, 6, 0) + self.make_labelled_acfgs(rng, 6, 1)
+        val = self.make_labelled_acfgs(rng, 3, 0) + self.make_labelled_acfgs(rng, 3, 1)
+        model = build_model(
+            ModelConfig(
+                num_attributes=11, num_classes=2, pooling="sort_weighted",
+                graph_conv_sizes=(6, 6), sort_k=3, hidden_size=8,
+                dropout=0.0, seed=0,
+            )
+        )
+        epochs = 3
+        trainer = Trainer(TrainingConfig(epochs=epochs, batch_size=4, seed=0))
+        trainer.train(model, train, val)
+
+        collator = trainer.last_collator
+        assert collator is not None
+        # The single fixed validation chunk misses on epoch 1 and hits on
+        # every later epoch's validation pass.
+        assert collator.hits >= epochs - 1
+
+        # Post-training evaluation through the same collator reuses the
+        # memoized chunk instead of re-collating (the cross_validate path).
+        before = collator.hits
+        Trainer.evaluate(model, val, family_names=["a", "b"], collator=collator)
+        assert collator.hits == before + 1

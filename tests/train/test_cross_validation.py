@@ -90,3 +90,89 @@ class TestCrossValidate:
             scale_attributes=False,
         )
         assert len(result.fold_reports) == 2
+
+
+class TestFoldWorkUnits:
+    """The pickle-able fold units behind the parallel sweep engine."""
+
+    def test_fold_specs_are_pickleable(self, rng):
+        import pickle
+
+        from repro.train.cross_validation import make_fold_specs
+
+        dataset = make_dataset(rng, n_per_class=6)
+        config = ModelConfig(
+            num_attributes=11, num_classes=2, pooling="sort_weighted",
+            graph_conv_sizes=(6, 6), sort_k=3, hidden_size=8, seed=0,
+        )
+        specs = make_fold_specs(
+            dataset, TrainingConfig(epochs=2, batch_size=6),
+            model_config=config, n_splits=3,
+        )
+        assert len(specs) == 3
+        restored = pickle.loads(pickle.dumps(specs))
+        assert [s.fold_index for s in restored] == [0, 1, 2]
+        assert restored[0].model_config == config
+        # Specs partition the dataset per fold.
+        for spec in restored:
+            merged = sorted(spec.train_indices + spec.val_indices)
+            assert merged == list(range(len(dataset)))
+
+    def test_config_path_matches_factory_path_exactly(self, rng):
+        """cross_validate_config == cross_validate with the equivalent
+        factory closure (the pre-refactor GridSearch idiom)."""
+        import dataclasses as dc
+
+        from repro.train.cross_validation import (
+            MODEL_SEED_STRIDE,
+            cross_validate_config,
+        )
+
+        dataset = make_dataset(rng, n_per_class=6)
+        config = ModelConfig(
+            num_attributes=11, num_classes=2, pooling="sort_weighted",
+            graph_conv_sizes=(6, 6), sort_k=3, hidden_size=8,
+            dropout=0.0, seed=7,
+        )
+        training = TrainingConfig(epochs=2, batch_size=6, seed=7)
+
+        def closure_factory(fold):
+            return build_model(
+                dc.replace(config, seed=config.seed + MODEL_SEED_STRIDE * fold)
+            )
+
+        via_factory = cross_validate(
+            closure_factory, dataset, training, n_splits=3
+        )
+        via_config = cross_validate_config(config, dataset, training, n_splits=3)
+        assert np.array_equal(
+            via_factory.epoch_validation_losses,
+            via_config.epoch_validation_losses,
+        )
+        for a, b in zip(via_factory.fold_histories, via_config.fold_histories):
+            assert a.train_losses == b.train_losses
+            assert a.validation_losses == b.validation_losses
+
+    def test_run_fold_result_roundtrips_through_json(self, rng):
+        """Journaled folds reproduce in-memory results bit for bit."""
+        import json
+
+        from repro.train.cross_validation import make_fold_specs, run_fold
+        from repro.train.metrics import ClassificationReport
+        from repro.train.trainer import TrainingHistory
+
+        dataset = make_dataset(rng, n_per_class=4)
+        specs = make_fold_specs(
+            dataset, TrainingConfig(epochs=2, batch_size=4), n_splits=2
+        )
+        result = run_fold(specs[0], dataset, model_factory=factory)
+        history = TrainingHistory.from_dict(
+            json.loads(json.dumps(result.history.to_dict()))
+        )
+        assert history == result.history
+        report = ClassificationReport.from_dict(
+            json.loads(json.dumps(result.report.to_dict()))
+        )
+        assert report.accuracy == result.report.accuracy
+        assert report.log_loss == result.report.log_loss
+        assert np.array_equal(report.confusion, result.report.confusion)

@@ -1,0 +1,349 @@
+"""Tests for the parallel sweep engine (repro.train.sweep).
+
+The load-bearing property is *bit-for-bit equivalence*: fanning the
+(setting x fold) product over worker processes, journaling it, killing
+it and resuming it must all reproduce exactly what the serial
+``GridSearch.run`` loop computes — same rankings, same per-fold
+validation-loss arrays, exact float equality.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datasets import generate_mskcfg_dataset
+from repro.exceptions import ConfigurationError
+from repro.train.hyperparameter import (
+    GridSearch,
+    HyperparameterSetting,
+    dataset_invariants,
+)
+from repro.train.sweep import SweepExecutor, SweepJournal, setting_key
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def small_settings():
+    """Two cheap sort_weighted grid points (no Conv heads)."""
+    return [
+        HyperparameterSetting(
+            pooling="sort_weighted", pooling_ratio=0.2,
+            graph_conv_sizes=(6, 6), dropout=0.0, batch_size=8,
+        ),
+        HyperparameterSetting(
+            pooling="sort_weighted", pooling_ratio=0.64,
+            graph_conv_sizes=(6, 6), dropout=0.0, batch_size=8,
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def sweep_dataset():
+    return generate_mskcfg_dataset(total=30, seed=7, minimum_per_family=4)
+
+
+def make_search(dataset, **overrides):
+    kwargs = dict(epochs=2, n_splits=2, hidden_size=8, seed=0)
+    kwargs.update(overrides)
+    return GridSearch(dataset, **kwargs)
+
+
+def assert_bitwise_equal(a, b):
+    """Two GridSearchResults carry identical rankings and histories."""
+    assert [setting_key(e.setting) for e in a.ranking()] == [
+        setting_key(e.setting) for e in b.ranking()
+    ]
+    for ea, eb in zip(a.entries, b.entries):
+        assert ea.setting == eb.setting
+        assert ea.score == eb.score
+        assert np.array_equal(
+            ea.result.epoch_validation_losses, eb.result.epoch_validation_losses
+        )
+        for ha, hb in zip(ea.result.fold_histories, eb.result.fold_histories):
+            assert ha.validation_losses == hb.validation_losses
+            assert ha.train_losses == hb.train_losses
+        assert np.array_equal(
+            ea.result.averaged_report.confusion,
+            eb.result.averaged_report.confusion,
+        )
+
+
+class TestSettingKey:
+    def test_stable_across_calls(self):
+        a, b = small_settings()
+        assert setting_key(a) == setting_key(a)
+        assert setting_key(a) != setting_key(b)
+
+    def test_independent_of_grid_position(self):
+        a, b = small_settings()
+        assert [setting_key(s) for s in [a, b]] == list(
+            reversed([setting_key(s) for s in [b, a]])
+        )
+
+
+class TestEquivalence:
+    def test_parallel_matches_serial_exactly(self, sweep_dataset):
+        """The acceptance criterion: n_jobs=2 == serial, float-exact."""
+        serial = make_search(sweep_dataset).run(small_settings())
+        report = SweepExecutor(make_search(sweep_dataset), n_jobs=2).run(
+            small_settings()
+        )
+        assert report.failures == []
+        assert report.executed_folds == 4
+        assert_bitwise_equal(serial, report.grid_result)
+
+    def test_grid_search_n_jobs_delegates(self, sweep_dataset):
+        serial = make_search(sweep_dataset).run(small_settings())
+        parallel = make_search(sweep_dataset).run(small_settings(), n_jobs=2)
+        assert parallel.failures == []
+        assert_bitwise_equal(serial, parallel)
+
+    def test_progress_fires_once_per_setting(self, sweep_dataset):
+        calls = []
+        search = make_search(
+            sweep_dataset,
+            progress=lambda i, n, s, score: calls.append((i, n)),
+        )
+        SweepExecutor(search, n_jobs=2).run(small_settings())
+        assert sorted(calls) == [(1, 2), (2, 2)]
+
+
+class TestJournalResume:
+    def test_full_journal_resume_skips_everything(self, sweep_dataset, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        first = SweepExecutor(
+            make_search(sweep_dataset), journal_path=journal
+        ).run(small_settings())
+        assert first.executed_folds == 4 and first.resumed_folds == 0
+
+        resumed = SweepExecutor(
+            make_search(sweep_dataset), journal_path=journal, resume=True
+        ).run(small_settings())
+        assert resumed.executed_folds == 0 and resumed.resumed_folds == 4
+        assert_bitwise_equal(first.grid_result, resumed.grid_result)
+
+    def test_partial_journal_resume_reproduces_result(
+        self, sweep_dataset, tmp_path
+    ):
+        journal = str(tmp_path / "sweep.jsonl")
+        full = SweepExecutor(
+            make_search(sweep_dataset), journal_path=journal
+        ).run(small_settings())
+
+        # Simulate a kill after two folds, mid-write of the third.
+        lines = open(journal).read().splitlines()
+        assert len(lines) == 5  # header + 4 folds
+        with open(journal, "w") as handle:
+            handle.write("\n".join(lines[:3]) + "\n" + lines[3][:25])
+
+        resumed = SweepExecutor(
+            make_search(sweep_dataset), journal_path=journal,
+            resume=True, n_jobs=2,
+        ).run(small_settings())
+        assert resumed.resumed_folds == 2 and resumed.executed_folds == 2
+        assert_bitwise_equal(full.grid_result, resumed.grid_result)
+
+    def test_fingerprint_mismatch_refused(self, sweep_dataset, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        SweepExecutor(
+            make_search(sweep_dataset), journal_path=journal
+        ).run(small_settings())
+        with pytest.raises(ConfigurationError, match="fingerprint"):
+            SweepExecutor(
+                make_search(sweep_dataset, epochs=3),
+                journal_path=journal, resume=True,
+            ).run(small_settings())
+
+    def test_journal_without_resume_starts_fresh(self, sweep_dataset, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        SweepExecutor(
+            make_search(sweep_dataset), journal_path=journal
+        ).run(small_settings())
+        again = SweepExecutor(
+            make_search(sweep_dataset), journal_path=journal
+        ).run(small_settings())
+        assert again.resumed_folds == 0 and again.executed_folds == 4
+        records = [json.loads(line) for line in open(journal)]
+        assert [r["kind"] for r in records] == ["header"] + ["fold"] * 4
+
+    def test_missing_journal_with_resume_is_fresh_start(
+        self, sweep_dataset, tmp_path
+    ):
+        journal = str(tmp_path / "absent.jsonl")
+        report = SweepExecutor(
+            make_search(sweep_dataset), journal_path=journal, resume=True
+        ).run(small_settings())
+        assert report.resumed_folds == 0 and report.executed_folds == 4
+        assert os.path.exists(journal)
+
+
+class TestFaultTolerance:
+    def test_transient_failure_retried_once(
+        self, sweep_dataset, monkeypatch
+    ):
+        import repro.train.sweep as sweep_module
+
+        real_run_fold = sweep_module.run_fold
+        poisoned = {"remaining": 1}
+
+        def flaky(spec, dataset, model_factory=None):
+            if spec.fold_index == 1 and poisoned["remaining"]:
+                poisoned["remaining"] -= 1
+                raise RuntimeError("synthetic transient fold crash")
+            return real_run_fold(spec, dataset, model_factory=model_factory)
+
+        monkeypatch.setattr(sweep_module, "run_fold", flaky)
+        serial = make_search(sweep_dataset).run(small_settings())
+        report = SweepExecutor(make_search(sweep_dataset), n_jobs=1).run(
+            small_settings()
+        )
+        assert report.failures == []
+        assert_bitwise_equal(serial, report.grid_result)
+
+    def test_persistent_failure_reported_not_raised(
+        self, sweep_dataset, monkeypatch, tmp_path
+    ):
+        import repro.train.sweep as sweep_module
+
+        real_run_fold = sweep_module.run_fold
+        settings = small_settings()
+        poison_key = setting_key(settings[0])
+        search = make_search(sweep_dataset)
+        poison_config, _ = search.configs_for(
+            settings[0], *dataset_invariants(sweep_dataset)
+        )
+
+        def always_broken(spec, dataset, model_factory=None):
+            if spec.model_config == poison_config:
+                raise RuntimeError("synthetic persistent fold crash")
+            return real_run_fold(spec, dataset, model_factory=model_factory)
+
+        monkeypatch.setattr(sweep_module, "run_fold", always_broken)
+        journal = str(tmp_path / "sweep.jsonl")
+        report = SweepExecutor(
+            search, n_jobs=1, journal_path=journal
+        ).run(settings)
+
+        assert report.failures, "persistent crash should be reported"
+        assert all(f.attempts == 2 for f in report.failures)
+        assert all(f.setting_key == poison_key for f in report.failures)
+        # The healthy setting still produced its entry.
+        assert [e.setting for e in report.grid_result.entries] == [settings[1]]
+        assert report.grid_result.failures == report.failures
+        kinds = [json.loads(line)["kind"] for line in open(journal)]
+        assert "failure" in kinds
+
+    def test_invalid_n_jobs_rejected(self, sweep_dataset):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(make_search(sweep_dataset), n_jobs=0)
+
+
+class TestDatasetInvariants:
+    def test_returns_hoisted_invariants(self, sweep_dataset):
+        num_attributes, graph_sizes = dataset_invariants(sweep_dataset)
+        assert num_attributes == sweep_dataset.acfgs[0].num_attributes
+        assert graph_sizes == sweep_dataset.graph_sizes()
+
+    def test_emptied_dataset_raises_configuration_error(self, sweep_dataset):
+        search = make_search(sweep_dataset)
+        search.dataset = sweep_dataset.subset(range(len(sweep_dataset)))
+        search.dataset.acfgs.clear()  # the empty-but-constructed misuse path
+        with pytest.raises(ConfigurationError, match="no ACFGs"):
+            search.run(small_settings())
+
+
+class TestKillAndResume:
+    """End-to-end: SIGKILL a journaled CLI sweep, resume, compare."""
+
+    CLI_ARGS = [
+        "sweep", "--dataset", "mskcfg", "--total", "30", "--settings", "2",
+        "--epochs", "2", "--folds", "2", "--hidden-size", "8", "--seed", "0",
+    ]
+
+    def run_cli(self, tmp_path, tag, extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        output = str(tmp_path / f"{tag}.json")
+        cmd = [sys.executable, "-m", "repro.cli", *self.CLI_ARGS,
+               "--output", output, *extra]
+        return cmd, env, output
+
+    def test_killed_sweep_resumes_to_identical_ranking(self, tmp_path):
+        # Reference: uninterrupted, journal-free run.
+        cmd, env, reference_path = self.run_cli(tmp_path, "reference", [])
+        subprocess.run(cmd, env=env, check=True, capture_output=True,
+                       timeout=300)
+
+        # Interrupted run: SIGKILL once the first fold hits the journal.
+        journal = str(tmp_path / "sweep.jsonl")
+        cmd, env, _ = self.run_cli(
+            tmp_path, "interrupted", ["--journal", journal]
+        )
+        process = subprocess.Popen(
+            cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+        try:
+            deadline = time.time() + 240
+            while time.time() < deadline and process.poll() is None:
+                if os.path.exists(journal):
+                    folds = [
+                        line for line in open(journal).read().splitlines()
+                        if '"kind": "fold"' in line
+                    ]
+                    if folds:
+                        break
+                time.sleep(0.02)
+            if process.poll() is None:
+                process.send_signal(signal.SIGKILL)
+            process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+        # Resume and compare against the uninterrupted ranking.
+        cmd, env, resumed_path = self.run_cli(
+            tmp_path, "resumed", ["--journal", journal, "--resume"]
+        )
+        subprocess.run(cmd, env=env, check=True, capture_output=True,
+                       timeout=300)
+
+        with open(reference_path) as handle:
+            reference = json.load(handle)
+        with open(resumed_path) as handle:
+            resumed = json.load(handle)
+        assert resumed == reference  # exact, including float reprs
+
+        # The journal holds each fold exactly once: resume skipped
+        # completed work instead of redoing it.
+        records = [json.loads(line) for line in open(journal)
+                   if line.strip() and '"fold"' in line]
+        fold_units = [(r["setting"], r["fold"]) for r in records
+                      if r["kind"] == "fold"]
+        assert len(fold_units) == len(set(fold_units)) == 4
+
+
+class TestJournalUnit:
+    def test_header_roundtrip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = SweepJournal(path, {"epochs": 2, "n_splits": 2})
+        journal.open_for_append(fresh=True)
+        journal.close()
+        same = SweepJournal(path, {"epochs": 2, "n_splits": 2})
+        assert same.load_completed() == {}
+        other = SweepJournal(path, {"epochs": 3, "n_splits": 2})
+        with pytest.raises(ConfigurationError):
+            other.load_completed()
+
+    def test_non_header_first_line_rejected(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"kind": "fold"}\n')
+        with pytest.raises(ConfigurationError, match="header"):
+            SweepJournal(path, {}).load_completed()
