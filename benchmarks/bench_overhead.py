@@ -14,6 +14,7 @@ the shape that must hold is feature extraction >> training per instance
 
 from repro.core.magic import Magic
 from repro.datasets import generate_mskcfg_listings
+from repro.features.pipeline import AcfgPipeline
 from repro.train.trainer import TrainingConfig
 
 from benchmarks.bench_common import best_model_config, save_result
@@ -59,4 +60,50 @@ def test_overhead_breakdown(benchmark, mskcfg_bench):
             "train_ms_per_instance": 29.69,
             "predict_ms_per_instance": 11.33,
         },
+    })
+
+
+def test_journal_overhead(tmp_path):
+    """Checkpoint journaling must cost <5% on the clean extraction path.
+
+    The journal exists for 17-hour batch jobs; it earns its keep only if
+    the per-sample cost of its JSON line + flush is noise next to the
+    CFG construction it checkpoints.  Timed as the best of 3 runs each
+    so scheduler hiccups do not dominate.
+    """
+    samples = list(generate_mskcfg_listings(total=40, seed=11))
+    repeats = 3
+
+    def run(journal_path):
+        pipeline = AcfgPipeline(journal_path=journal_path)
+        report = pipeline.extract_from_texts(samples)
+        assert report.num_failed == 0
+        return report.elapsed_seconds
+
+    run(None)  # warm caches so neither side pays first-run costs
+    plain_times, journaled_times = [], []
+    for i in range(repeats):  # interleaved: drift hits both sides alike
+        plain_times.append(run(None))
+        journaled_times.append(run(str(tmp_path / f"journal-{i}.jsonl")))
+    plain = min(plain_times)
+    journaled = min(journaled_times)
+
+    overhead = journaled / plain - 1.0
+    plain_ms = plain / len(samples) * 1000
+    journaled_ms = journaled / len(samples) * 1000
+    print("\nJournaling overhead on the clean extraction path:")
+    print(f"  without journal : {plain_ms:8.3f} ms/sample")
+    print(f"  with journal    : {journaled_ms:8.3f} ms/sample")
+    print(f"  overhead        : {overhead * 100:8.2f} %")
+
+    assert overhead < 0.05, (
+        f"journaling costs {overhead * 100:.1f}% per sample on the clean "
+        "path; the <5% budget is blown"
+    )
+
+    save_result("journal_overhead", {
+        "plain_ms_per_sample": plain_ms,
+        "journaled_ms_per_sample": journaled_ms,
+        "overhead_fraction": overhead,
+        "budget_fraction": 0.05,
     })

@@ -24,7 +24,7 @@ from typing import List, Optional
 from repro.asm.parser import AsmParser
 from repro.cfg.builder import CfgBuilder
 from repro.cfg.metrics import compute_cfg_metrics, to_dot
-from repro.cfg.serialization import load_cfg, save_cfg
+from repro.cfg.serialization import load_cfg
 from repro.core.dgcnn import ModelConfig
 from repro.core.magic import Magic
 from repro.exceptions import MagicError
@@ -57,21 +57,44 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_extract(args: argparse.Namespace) -> int:
+    """Batch-convert listings to cached CFG JSON, fault-tolerantly.
+
+    Runs on the extraction service: ``--n-jobs``/``--timeout`` use the
+    supervised process pool (hung listings are killed, crashed workers
+    cost one sample), ``--journal``/``--resume`` give SIGKILL-and-resume
+    for long corpora, ``--max-vertices`` guards against pathological
+    graphs, and ``--quarantine`` preserves failing inputs for triage.
+    """
+    from repro.features.pipeline import AcfgPipeline
+
     os.makedirs(args.output, exist_ok=True)
-    failures = 0
+    items = []
     for path in args.listings:
-        try:
-            cfg = _build_cfg_from_file(path)
-        except MagicError as exc:
-            print(f"FAILED {path}: {exc}", file=sys.stderr)
-            failures += 1
-            continue
         base = os.path.splitext(os.path.basename(path))[0]
         destination = os.path.join(args.output, base + ".json")
-        save_cfg(cfg, destination)
-        print(f"{path} -> {destination} "
-              f"({cfg.num_vertices} blocks, {cfg.num_edges} edges)")
-    return 1 if failures else 0
+        items.append((base, {"path": path, "destination": destination}, None))
+
+    pipeline = AcfgPipeline(
+        max_workers=args.n_jobs,
+        use_processes=args.n_jobs > 1 or args.timeout is not None,
+        timeout=args.timeout,
+        max_vertices=args.max_vertices,
+        journal_path=args.journal,
+        resume=args.resume,
+        quarantine_dir=args.quarantine,
+    )
+    report = pipeline.run_units(items, "cfg-json")
+    for index, _, summary in report.results:
+        print(f"{items[index][1]['path']} -> {summary['destination']} "
+              f"({summary['num_vertices']} blocks, "
+              f"{summary['num_edges']} edges)")
+    for failure in report.failures:
+        print(f"FAILED {items[failure.index][1]['path']} "
+              f"[{failure.kind.value}]: {failure.detail}", file=sys.stderr)
+    if report.resumed_samples:
+        print(f"(resumed {report.resumed_samples} samples from "
+              f"{args.journal})")
+    return 1 if report.failures else 0
 
 
 def _load_cfg_corpus(directory: str):
@@ -255,9 +278,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="embed disassembly in DOT labels")
     p_info.set_defaults(func=cmd_info)
 
-    p_extract = sub.add_parser("extract", help="listings -> cached CFG JSON")
+    p_extract = sub.add_parser(
+        "extract",
+        help="listings -> cached CFG JSON (fault-tolerant, resumable)",
+    )
     p_extract.add_argument("listings", nargs="+")
     p_extract.add_argument("--output", required=True)
+    p_extract.add_argument("--n-jobs", type=int, default=1,
+                           help="extraction worker processes")
+    p_extract.add_argument("--timeout", type=float, default=None,
+                           help="per-sample wall-clock limit in seconds "
+                                "(hung samples are killed)")
+    p_extract.add_argument("--max-vertices", type=int, default=None,
+                           help="fail samples whose CFG exceeds this size")
+    p_extract.add_argument("--journal",
+                           help="JSON-lines checkpoint of finished samples")
+    p_extract.add_argument("--resume", action="store_true",
+                           help="skip samples already recorded in --journal")
+    p_extract.add_argument("--quarantine",
+                           help="directory preserving failing inputs")
     p_extract.set_defaults(func=cmd_extract)
 
     p_train = sub.add_parser("train", help="train and persist a model")

@@ -6,12 +6,27 @@ them; this module gives the same workflow: write a
 later sessions.  Format: one compact ACFG text record per sample (see
 :mod:`repro.cfg.serialization`) plus a ``manifest.json`` with the family
 table and sample order.
+
+A 17-hour artifact deserves crash safety, so writes are atomic: the
+whole corpus is staged in a sibling temp directory and swapped into
+place with directory renames.  A kill mid-save leaves either the old
+cache or the new one, never a torn mix — and saving a smaller corpus
+over a larger one cannot leak stale ``*.acfg`` records, because the
+previous directory is replaced wholesale.  Integrity is checked too:
+``manifest.json`` carries a ``format_version`` and a per-record sha256,
+verified on load (a corrupt record raises
+:class:`~repro.exceptions.DatasetError` naming the file).  Legacy
+checksum-less manifests still load, with a warning.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import shutil
+import tempfile
+import warnings
 from typing import List
 
 from repro.cfg.serialization import acfg_from_text, acfg_to_text
@@ -21,31 +36,93 @@ from repro.features.acfg import ACFG
 
 _MANIFEST = "manifest.json"
 
+#: Manifest schema version.  Version 2 added ``format_version`` itself
+#: and per-record ``sha256`` checksums; manifests without the field are
+#: treated as legacy version 1.
+_FORMAT_VERSION = 2
+
+
+def _record_digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
 
 def save_dataset(dataset: MalwareDataset, directory: str) -> None:
-    """Write ``dataset`` to ``directory`` (created if missing)."""
-    os.makedirs(directory, exist_ok=True)
-    records = []
-    for index, acfg in enumerate(dataset.acfgs):
-        filename = f"{index:06d}.acfg"
-        with open(os.path.join(directory, filename), "w", encoding="utf-8") as fh:
-            fh.write(acfg_to_text(acfg.adjacency, acfg.attributes))
-        records.append({
-            "file": filename,
-            "label": acfg.label,
-            "name": acfg.name,
-        })
-    manifest = {
-        "name": dataset.name,
-        "family_names": dataset.family_names,
-        "samples": records,
-    }
-    with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh, indent=2)
+    """Write ``dataset`` to ``directory`` atomically.
+
+    The corpus is staged in a temp directory next to the target and
+    renamed into place, replacing any previous cache as a unit.
+    """
+    target = os.path.abspath(directory)
+    parent = os.path.dirname(target)
+    os.makedirs(parent, exist_ok=True)
+    staging = tempfile.mkdtemp(prefix=".tmp-save-", dir=parent)
+    try:
+        records = []
+        for index, acfg in enumerate(dataset.acfgs):
+            filename = f"{index:06d}.acfg"
+            text = acfg_to_text(acfg.adjacency, acfg.attributes)
+            with open(os.path.join(staging, filename), "w",
+                      encoding="utf-8") as fh:
+                fh.write(text)
+            records.append({
+                "file": filename,
+                "label": acfg.label,
+                "name": acfg.name,
+                "sha256": _record_digest(text),
+            })
+        manifest = {
+            "format_version": _FORMAT_VERSION,
+            "name": dataset.name,
+            "family_names": dataset.family_names,
+            "samples": records,
+        }
+        with open(os.path.join(staging, _MANIFEST), "w",
+                  encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2)
+
+        if os.path.isdir(target):
+            # A directory cannot be renamed over a non-empty directory,
+            # so retire the old cache first; a crash between the two
+            # renames costs the old cache but never tears the new one.
+            retired = tempfile.mkdtemp(prefix=".tmp-old-", dir=parent)
+            os.rename(target, os.path.join(retired, "cache"))
+            os.rename(staging, target)
+            shutil.rmtree(retired, ignore_errors=True)
+        else:
+            os.rename(staging, target)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+
+
+def _validated_label(record: dict, num_families: int):
+    """The record's label, checked against the family table.
+
+    An out-of-range or non-integer label would otherwise surface much
+    later as an opaque index error inside a training run.
+    """
+    label = record["label"]
+    if not isinstance(label, int) or isinstance(label, bool):
+        raise DatasetError(
+            f"sample {record.get('name', record.get('file', '?'))!r} has a "
+            f"non-integer label {label!r}"
+        )
+    if not 0 <= label < num_families:
+        raise DatasetError(
+            f"sample {record.get('name', record.get('file', '?'))!r} has "
+            f"label {label}, outside the {num_families}-family table"
+        )
+    return label
 
 
 def load_dataset(directory: str) -> MalwareDataset:
-    """Reload a dataset written by :func:`save_dataset`."""
+    """Reload a dataset written by :func:`save_dataset`.
+
+    Verifies the per-record checksums when the manifest carries them and
+    validates every label against the family table, so corruption is
+    reported here — naming the offending file — rather than surfacing as
+    an index error mid-training.
+    """
     manifest_path = os.path.join(directory, _MANIFEST)
     try:
         with open(manifest_path, "r", encoding="utf-8") as fh:
@@ -55,24 +132,46 @@ def load_dataset(directory: str) -> MalwareDataset:
     except json.JSONDecodeError as exc:
         raise DatasetError(f"corrupt manifest {manifest_path}: {exc}") from exc
 
+    version = manifest.get("format_version", 1)
+    if version not in (1, _FORMAT_VERSION):
+        raise DatasetError(
+            f"unsupported cache format_version {version!r} in "
+            f"{manifest_path} (this build reads versions 1-{_FORMAT_VERSION})"
+        )
+    if version == 1:
+        warnings.warn(
+            f"loading legacy checksum-less dataset cache at {directory}; "
+            "re-save it to enable integrity verification",
+            stacklevel=2,
+        )
+
+    family_names = manifest["family_names"]
     acfgs: List[ACFG] = []
     for record in manifest["samples"]:
+        label = _validated_label(record, len(family_names))
         path = os.path.join(directory, record["file"])
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                adjacency, attributes, _ = acfg_from_text(fh.read())
+                text = fh.read()
         except OSError as exc:
             raise DatasetError(f"missing sample file {path}: {exc}") from exc
+        expected = record.get("sha256")
+        if expected is not None and _record_digest(text) != expected:
+            raise DatasetError(
+                f"corrupt sample file {path}: sha256 mismatch against the "
+                "manifest (cache was modified or torn after saving)"
+            )
+        adjacency, attributes, _ = acfg_from_text(text)
         acfgs.append(
             ACFG(
                 adjacency=adjacency,
                 attributes=attributes,
-                label=record["label"],
+                label=label,
                 name=record["name"],
             )
         )
     return MalwareDataset(
         acfgs=acfgs,
-        family_names=manifest["family_names"],
+        family_names=family_names,
         name=manifest.get("name", ""),
     )

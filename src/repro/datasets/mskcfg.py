@@ -215,7 +215,7 @@ def generate_mskcfg_dataset(
     )
     report = AcfgPipeline(max_workers=max_workers).extract_from_texts(listings)
     if report.failures:
-        failed = ", ".join(name for name, _ in report.failures[:5])
+        failed = ", ".join(f.name for f in report.failures[:5])
         raise DatasetError(
             f"{report.num_failed} samples failed ACFG extraction ({failed}...)"
         )

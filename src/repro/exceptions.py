@@ -30,6 +30,23 @@ class FeatureExtractionError(MagicError):
     """Raised when block attributes cannot be extracted from a CFG."""
 
 
+class OversizeGraphError(FeatureExtractionError):
+    """Raised when a sample's graph exceeds the pipeline's size guard.
+
+    Pathological samples (packer stubs unrolled into megabyte CFGs) can
+    stall attribute extraction for hours; the extraction service treats
+    this as a structured per-sample failure, not a batch abort.
+    """
+
+    def __init__(self, name: str, num_vertices: int, limit: int) -> None:
+        self.num_vertices = num_vertices
+        self.limit = limit
+        super().__init__(
+            f"{name or 'sample'}: graph has {num_vertices} vertices, "
+            f"exceeding the max_vertices guard of {limit}"
+        )
+
+
 class SerializationError(MagicError):
     """Raised when a CFG or ACFG fails to round-trip through serialization."""
 
@@ -52,3 +69,23 @@ class DatasetError(MagicError):
 
 class TrainingError(MagicError):
     """Raised when model training cannot proceed (e.g. empty fold)."""
+
+
+class TrainingDivergedError(TrainingError):
+    """Raised when training produces a non-finite loss or gradient.
+
+    Carries the epoch/batch where divergence was detected so sweeps can
+    record it as a structured failure instead of poisoning a grid with
+    NaN scores.  ``TrainingConfig.halt_on_divergence=False`` downgrades
+    this to an early stop recorded on the ``TrainingHistory``.
+    """
+
+    def __init__(self, message: str, epoch: int, batch: int,
+                 loss: float | None = None) -> None:
+        self.epoch = epoch
+        self.batch = batch
+        self.loss = loss
+        super().__init__(
+            f"{message} (epoch {epoch}, batch {batch}"
+            + (f", loss {loss!r})" if loss is not None else ")")
+        )

@@ -15,7 +15,13 @@ from repro.features.extra_attributes import (
     disable_extended_attributes,
     enable_extended_attributes,
 )
-from repro.features.pipeline import AcfgPipeline, ExtractionReport
+from repro.features.journal import ExtractionJournal
+from repro.features.pipeline import (
+    AcfgPipeline,
+    ExtractionFailure,
+    ExtractionReport,
+    FailureKind,
+)
 from repro.features.scaling import AttributeScaler
 
 __all__ = [
@@ -24,7 +30,10 @@ __all__ = [
     "AttributeScaler",
     "DEFAULT_ATTRIBUTES",
     "EXTENDED_ATTRIBUTES",
+    "ExtractionFailure",
+    "ExtractionJournal",
     "ExtractionReport",
+    "FailureKind",
     "disable_extended_attributes",
     "enable_extended_attributes",
     "attribute_names",

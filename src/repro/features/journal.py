@@ -1,0 +1,154 @@
+"""JSON-lines checkpoint journal for extraction runs.
+
+The paper's MSKCFG preprocessing is a 17-hour batch job; at that scale an
+extraction run must survive SIGKILL.  :class:`ExtractionJournal` mirrors
+the sweep engine's :class:`~repro.train.sweep.SweepJournal`: line 1 is a
+header fingerprinting the run (worker kind, sample count, an order-aware
+hash of the sample names, timeout and size-guard settings), every
+subsequent line records one *finished* sample — success payload or
+structured failure — and a torn final line (the run was killed mid-write)
+is tolerated on load.  Resuming against a journal whose fingerprint
+differs raises :class:`~repro.exceptions.ConfigurationError` rather than
+silently splicing two different runs together.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Journal schema version; bumped on incompatible format changes.
+JOURNAL_VERSION = 1
+
+
+def samples_fingerprint(names: Sequence[str]) -> str:
+    """Order-aware content hash of the input sample names.
+
+    Sample *names* (not payloads) keep header writes cheap on large
+    corpora while still catching the dangerous resume mistakes: a
+    different corpus, a reordered corpus, or a truncated one.
+    """
+    digest = hashlib.sha256()
+    for name in names:
+        digest.update(name.encode("utf-8", errors="replace"))
+        digest.update(b"\x00")
+    digest.update(str(len(names)).encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+class ExtractionJournal:
+    """Append-only JSONL record of per-sample extraction outcomes.
+
+    Completed entries are keyed by *input index*: sample names are
+    caller-provided and may collide, but the position in the input
+    sequence is unique, and the fingerprint pins the input sequence
+    itself.
+    """
+
+    def __init__(self, path: str, fingerprint: Dict) -> None:
+        self.path = path
+        self.fingerprint = dict(fingerprint, version=JOURNAL_VERSION)
+        self._handle = None
+
+    # -- reading ------------------------------------------------------
+
+    def load_completed(self) -> Dict[int, Dict]:
+        """Finished samples from a previous run, keyed by input index.
+
+        Each value is the raw journal record (``kind`` is ``"sample"``
+        for a success carrying its encoded payload, ``"failure"`` for a
+        structured failure).  Both are replayed on resume: extraction
+        failures are deterministic properties of the input, so redoing
+        them would only re-pay the timeout.  Empty when the journal does
+        not exist yet.
+        """
+        if not os.path.exists(self.path):
+            return {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"extraction journal {self.path!r} has an unreadable "
+                f"header: {exc}"
+            )
+        if header.get("kind") != "header":
+            raise ConfigurationError(
+                f"extraction journal {self.path!r} does not start with a "
+                "header line"
+            )
+        recorded = {k: v for k, v in header.items() if k != "kind"}
+        if recorded != self.fingerprint:
+            raise ConfigurationError(
+                "extraction journal fingerprint mismatch — the journal at "
+                f"{self.path!r} was written by a run configured as "
+                f"{recorded}, but this run is {self.fingerprint}; refusing "
+                "to resume across different inputs or settings"
+            )
+        completed: Dict[int, Dict] = {}
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line from a killed run
+            if record.get("kind") not in ("sample", "failure"):
+                continue
+            index = record.get("index")
+            if isinstance(index, int):
+                completed[index] = record
+        return completed
+
+    # -- writing ------------------------------------------------------
+
+    def open_for_append(self, fresh: bool) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        mode = "w" if fresh or not os.path.exists(self.path) else "a"
+        self._handle = open(self.path, mode, encoding="utf-8")
+        if mode == "w":
+            self._write_line(dict({"kind": "header"}, **self.fingerprint))
+
+    def record_sample(self, index: int, name: str, payload: Dict) -> None:
+        self._write_line(
+            {"kind": "sample", "index": index, "name": name,
+             "payload": payload}
+        )
+
+    def record_failure(self, index: int, name: str, kind: str,
+                       detail: str) -> None:
+        self._write_line(
+            {"kind": "failure", "index": index, "name": name,
+             "failure_kind": kind, "detail": detail}
+        )
+
+    def _write_line(self, record: Dict) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()  # survive a SIGKILL between samples
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def open_journal(
+    path: Optional[str], fingerprint: Dict, resume: bool
+) -> Tuple[Optional[ExtractionJournal], Dict[int, Dict]]:
+    """Standard open-or-resume dance shared by the pipeline entry points."""
+    if path is None:
+        return None, {}
+    journal = ExtractionJournal(path, fingerprint)
+    completed = journal.load_completed() if resume else {}
+    journal.open_for_append(fresh=not resume)
+    return journal, completed

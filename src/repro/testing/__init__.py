@@ -1,0 +1,10 @@
+"""Deterministic testing utilities for the repro library.
+
+This package is importable from production code paths (the extraction
+service accepts a :class:`~repro.testing.faults.FaultPlan`) but is inert
+unless a test explicitly wires a plan in.
+"""
+
+from repro.testing.faults import CORRUPT_OUTPUT, FaultKind, FaultPlan
+
+__all__ = ["CORRUPT_OUTPUT", "FaultKind", "FaultPlan"]

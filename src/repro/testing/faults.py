@@ -1,0 +1,125 @@
+"""Deterministic fault injection for the extraction service.
+
+The fault-tolerance paths of :class:`~repro.features.pipeline.AcfgPipeline`
+— timeout kills, crash detection, corrupt-output rejection — cannot be
+exercised by real inputs without non-determinism (a genuinely hung parser
+or a segfault).  A :class:`FaultPlan` makes any extraction worker raise,
+hang, hard-crash, or emit corrupt output on chosen *input indices*, and is
+picklable so it survives the trip into pool worker processes.
+
+The plan is applied at the worker boundary, before the real extraction
+function runs, so every injected fault travels the exact recovery path a
+real one would.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Optional
+
+
+class FaultKind(str, Enum):
+    """What a poisoned worker does instead of extracting its sample."""
+
+    #: Raise ``RuntimeError`` — models a worker bug / parser edge case.
+    RAISE = "raise"
+    #: Sleep past any reasonable deadline — models a hung disassembler.
+    HANG = "hang"
+    #: ``os._exit`` without reporting — models a segfault / OOM kill.
+    CRASH = "crash"
+    #: Return garbage instead of a result — models torn IPC payloads.
+    CORRUPT = "corrupt"
+
+
+class _CorruptOutput:
+    """Sentinel standing in for a worker result that is not a result."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<corrupt worker output>"
+
+
+#: The object a CORRUPT-poisoned worker hands back in place of its result.
+CORRUPT_OUTPUT = _CorruptOutput()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Maps input indices to injected faults; empty plan is a no-op.
+
+    Parameters
+    ----------
+    faults:
+        ``{input_index: FaultKind}``.  Indices refer to positions in the
+        sample sequence handed to the pipeline, so a plan is reproducible
+        across serial, thread, and process execution modes.
+    hang_seconds:
+        How long a HANG fault sleeps.  Defaults to an hour — far past any
+        sane per-sample timeout — but tests that exercise the *untimed*
+        paths can shrink it.
+    exit_code:
+        Process exit code of a CRASH fault (nonzero, and distinctive so
+        crash reports in tests are recognizable).
+    """
+
+    faults: Dict[int, FaultKind] = field(default_factory=dict)
+    hang_seconds: float = 3600.0
+    exit_code: int = 23
+
+    @classmethod
+    def build(
+        cls,
+        raise_on: Iterable[int] = (),
+        hang_on: Iterable[int] = (),
+        crash_on: Iterable[int] = (),
+        corrupt_on: Iterable[int] = (),
+        hang_seconds: float = 3600.0,
+        exit_code: int = 23,
+    ) -> "FaultPlan":
+        """Convenience constructor from per-kind index lists."""
+        faults: Dict[int, FaultKind] = {}
+        for kind, indices in (
+            (FaultKind.RAISE, raise_on),
+            (FaultKind.HANG, hang_on),
+            (FaultKind.CRASH, crash_on),
+            (FaultKind.CORRUPT, corrupt_on),
+        ):
+            for index in indices:
+                if index in faults:
+                    raise ValueError(
+                        f"index {index} assigned two faults "
+                        f"({faults[index].value} and {kind.value})"
+                    )
+                faults[index] = kind
+        return cls(faults=faults, hang_seconds=hang_seconds,
+                   exit_code=exit_code)
+
+    def fault_for(self, index: int) -> Optional[FaultKind]:
+        return self.faults.get(index)
+
+    def apply(self, index: int):
+        """Execute the fault for ``index``, if any.
+
+        Returns :data:`CORRUPT_OUTPUT` for a CORRUPT fault (the caller
+        substitutes it for the real result); returns ``None`` when the
+        index is clean.  RAISE raises, CRASH exits the process, HANG
+        sleeps and then raises (so a hang that outlives its sleep in an
+        unkillable execution mode still surfaces as a failure rather
+        than a silent success).
+        """
+        kind = self.fault_for(index)
+        if kind is None:
+            return None
+        if kind is FaultKind.RAISE:
+            raise RuntimeError(f"injected fault: worker raise at index {index}")
+        if kind is FaultKind.HANG:
+            time.sleep(self.hang_seconds)
+            raise RuntimeError(
+                f"injected fault: hang at index {index} outlived "
+                f"{self.hang_seconds}s without being killed"
+            )
+        if kind is FaultKind.CRASH:
+            os._exit(self.exit_code)
+        return CORRUPT_OUTPUT

@@ -32,7 +32,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.datasets.loader import MalwareDataset
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, TrainingDivergedError
 from repro.train.cross_validation import (
     FoldResult,
     FoldSpec,
@@ -215,16 +215,30 @@ def _pool_init(dataset: MalwareDataset) -> None:
 
 def _run_fold_task(
     payload: Tuple[int, str, FoldSpec],
-) -> Tuple[int, str, int, Optional[FoldResult], Optional[str]]:
+) -> Tuple[int, str, int, Optional[FoldResult], Optional[str], bool]:
     """Execute one fold in a pool worker; never raises.
 
     Errors come back as strings so a failing fold costs one work unit,
     not the pool (an exception escaping a worker can poison the whole
     executor), and so the parent can apply its retry-then-report policy.
+    The final element says whether a retry could plausibly help:
+    training divergence is a deterministic property of (setting, fold,
+    seed), so it goes straight to a :class:`SweepFailure` instead of
+    burning a retry on the identical NaN.
     """
     setting_index, key, spec = payload
     try:
-        return setting_index, key, spec.fold_index, run_fold(spec, _POOL_DATASET), None
+        return (setting_index, key, spec.fold_index,
+                run_fold(spec, _POOL_DATASET), None, False)
+    except TrainingDivergedError as exc:
+        return (
+            setting_index,
+            key,
+            spec.fold_index,
+            None,
+            f"{type(exc).__name__}: {exc}",
+            False,
+        )
     except Exception as exc:  # noqa: BLE001 — fault isolation boundary
         return (
             setting_index,
@@ -232,6 +246,7 @@ def _run_fold_task(
             spec.fold_index,
             None,
             f"{type(exc).__name__}: {exc}",
+            True,
         )
 
 
@@ -331,6 +346,7 @@ class SweepExecutor:
 
         def on_done(setting_index: int, key: str, fold_index: int,
                     result: Optional[FoldResult], error: Optional[str],
+                    retryable: bool,
                     attempts: Dict[Tuple[int, int], int]) -> bool:
             """Handle one worker return; True means resubmit (retry)."""
             unit = (setting_index, fold_index)
@@ -345,7 +361,7 @@ class SweepExecutor:
                     )
                 return False
             attempts[unit] = attempts.get(unit, 1)
-            if attempts[unit] <= self.max_retries:
+            if retryable and attempts[unit] <= self.max_retries:
                 attempts[unit] += 1
                 return True
             failures.append(
@@ -443,11 +459,21 @@ class SweepExecutor:
 
 def _run_fold_task_local(
     task: Tuple[int, str, FoldSpec], dataset: MalwareDataset
-) -> Tuple[int, str, int, Optional[FoldResult], Optional[str]]:
+) -> Tuple[int, str, int, Optional[FoldResult], Optional[str], bool]:
     """In-process twin of :func:`_run_fold_task` (the ``n_jobs=1`` path)."""
     setting_index, key, spec = task
     try:
-        return setting_index, key, spec.fold_index, run_fold(spec, dataset), None
+        return (setting_index, key, spec.fold_index,
+                run_fold(spec, dataset), None, False)
+    except TrainingDivergedError as exc:  # deterministic — never retried
+        return (
+            setting_index,
+            key,
+            spec.fold_index,
+            None,
+            f"{type(exc).__name__}: {exc}",
+            False,
+        )
     except Exception as exc:  # noqa: BLE001 — same fault boundary as the pool
         return (
             setting_index,
@@ -455,4 +481,5 @@ def _run_fold_task_local(
             spec.fold_index,
             None,
             f"{type(exc).__name__}: {exc}",
+            True,
         )

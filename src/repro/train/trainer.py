@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.exceptions import TrainingError
+from repro.exceptions import TrainingDivergedError, TrainingError
 from repro.features.acfg import ACFG
 from repro.nn.clip import clip_grad_norm
 from repro.nn.layers import Module
@@ -45,6 +45,14 @@ class TrainingConfig:
 
     ``grad_clip_norm`` is an optional global-L2 gradient cap; ``None``
     (the default, matching the paper) disables clipping.
+
+    ``halt_on_divergence`` controls what happens when a training step
+    produces a non-finite loss or gradient: ``True`` (default) raises
+    :class:`~repro.exceptions.TrainingDivergedError` carrying the
+    epoch/batch — so a sweep records the run as a structured failure
+    instead of ranking a NaN score — while ``False`` stops the run
+    early, marks the divergence on the :class:`TrainingHistory`, and
+    returns the best parameters seen so far.
     """
 
     epochs: int = 100
@@ -54,6 +62,7 @@ class TrainingConfig:
     lr_decay_factor: float = 0.1
     lr_decay_patience: int = 2
     grad_clip_norm: Optional[float] = None
+    halt_on_divergence: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -73,6 +82,14 @@ class TrainingHistory:
     best_epoch: int = -1
     best_validation_loss: float = float("inf")
     train_seconds_per_instance: float = 0.0
+    #: Set when ``halt_on_divergence=False`` stopped the run early on a
+    #: non-finite loss/gradient; ``(-1, -1)`` means the run was clean.
+    diverged_epoch: int = -1
+    diverged_batch: int = -1
+
+    @property
+    def diverged(self) -> bool:
+        return self.diverged_epoch >= 0
 
     @property
     def num_epochs(self) -> int:
@@ -147,9 +164,9 @@ class Trainer:
             model.train(True)
             epoch_losses: List[float] = []
             started = time.perf_counter()
-            for batch in iterate_minibatches(
+            for batch_index, batch in enumerate(iterate_minibatches(
                 train_acfgs, config.batch_size, rng=rng
-            ):
+            )):
                 labels = np.array([acfg.label for acfg in batch], dtype=np.int64)
                 optimizer.zero_grad()
                 # "is not None", not truthiness: an empty collator has
@@ -159,13 +176,30 @@ class Trainer:
                     collator(batch) if collator is not None else batch
                 )
                 loss = nll_loss(log_probs, labels)
+                loss_value = loss.item()
+                if not np.isfinite(loss_value):
+                    self._diverged(
+                        "training loss is not finite",
+                        history, epoch, batch_index, loss_value,
+                    )
+                    break
                 loss.backward()
+                if not self._gradients_finite(model):
+                    self._diverged(
+                        "gradients are not finite",
+                        history, epoch, batch_index, loss_value,
+                    )
+                    break
                 if config.grad_clip_norm is not None:
                     clip_grad_norm(model.parameters(), config.grad_clip_norm)
                 optimizer.step()
-                epoch_losses.append(loss.item())
+                epoch_losses.append(loss_value)
                 instances_seen += len(batch)
             train_time += time.perf_counter() - started
+            if history.diverged:
+                # halt_on_divergence=False: stop here with the best
+                # parameters seen so far; the partial epoch is dropped.
+                break
 
             train_loss = float(np.mean(epoch_losses))
             history.train_losses.append(train_loss)
@@ -193,6 +227,38 @@ class Trainer:
         if instances_seen:
             history.train_seconds_per_instance = train_time / instances_seen
         return history
+
+    # ------------------------------------------------------------------
+    # divergence guard
+
+    @staticmethod
+    def _gradients_finite(model: Module) -> bool:
+        return all(
+            param.grad is None or np.isfinite(param.grad).all()
+            for param in model.parameters()
+        )
+
+    def _diverged(
+        self,
+        reason: str,
+        history: TrainingHistory,
+        epoch: int,
+        batch: int,
+        loss_value: float,
+    ) -> None:
+        """Non-finite loss/gradient: raise or record, per the config.
+
+        A diverged optimizer state is unrecoverable (NaN propagates into
+        every parameter it touches), so there is no continue-training
+        option — only "raise a structured error" (the sweep-friendly
+        default) or "stop early and keep the best finite parameters".
+        """
+        if self.config.halt_on_divergence:
+            raise TrainingDivergedError(
+                reason, epoch=epoch, batch=batch, loss=loss_value
+            )
+        history.diverged_epoch = epoch
+        history.diverged_batch = batch
 
     # ------------------------------------------------------------------
     # evaluation helpers

@@ -1,0 +1,154 @@
+"""Unit tests for the extraction JSONL journal."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.features.journal import (
+    ExtractionJournal,
+    open_journal,
+    samples_fingerprint,
+)
+
+FINGERPRINT = {"worker": "text", "num_samples": 3, "samples": "abc123"}
+
+
+def make_journal(tmp_path, fingerprint=None):
+    path = str(tmp_path / "journal.jsonl")
+    return ExtractionJournal(path, fingerprint or FINGERPRINT)
+
+
+class TestSamplesFingerprint:
+    def test_deterministic(self):
+        assert samples_fingerprint(["a", "b"]) == samples_fingerprint(["a", "b"])
+
+    def test_order_aware(self):
+        assert samples_fingerprint(["a", "b"]) != samples_fingerprint(["b", "a"])
+
+    def test_count_aware(self):
+        # Concatenation ambiguity must not collide two different corpora.
+        assert samples_fingerprint(["ab"]) != samples_fingerprint(["a", "b"])
+
+    def test_short_stable_hex(self):
+        value = samples_fingerprint(["x"])
+        assert len(value) == 16
+        int(value, 16)
+
+
+class TestRoundTrip:
+    def test_records_round_trip(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open_for_append(fresh=True)
+        journal.record_sample(0, "s0", {"record": "data"})
+        journal.record_failure(1, "s1", "timeout", "killed")
+        journal.close()
+
+        completed = make_journal(tmp_path).load_completed()
+        assert set(completed) == {0, 1}
+        assert completed[0]["kind"] == "sample"
+        assert completed[0]["payload"] == {"record": "data"}
+        assert completed[1]["kind"] == "failure"
+        assert completed[1]["failure_kind"] == "timeout"
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert make_journal(tmp_path).load_completed() == {}
+
+    def test_fresh_open_truncates(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open_for_append(fresh=True)
+        journal.record_sample(0, "s0", {})
+        journal.close()
+        journal = make_journal(tmp_path)
+        journal.open_for_append(fresh=True)
+        journal.close()
+        assert make_journal(tmp_path).load_completed() == {}
+
+    def test_append_open_preserves(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open_for_append(fresh=True)
+        journal.record_sample(0, "s0", {})
+        journal.close()
+        journal = make_journal(tmp_path)
+        journal.open_for_append(fresh=False)
+        journal.record_sample(1, "s1", {})
+        journal.close()
+        assert set(make_journal(tmp_path).load_completed()) == {0, 1}
+
+
+class TestTornLines:
+    def test_torn_final_line_skipped(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open_for_append(fresh=True)
+        journal.record_sample(0, "s0", {})
+        journal.record_sample(1, "s1", {})
+        journal.close()
+        content = open(journal.path).read()
+        with open(journal.path, "w") as handle:
+            handle.write(content[: len(content) - 12])
+        completed = make_journal(tmp_path).load_completed()
+        assert set(completed) == {0}
+
+    def test_blank_and_alien_lines_skipped(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open_for_append(fresh=True)
+        journal.record_sample(0, "s0", {})
+        journal.close()
+        with open(journal.path, "a") as handle:
+            handle.write("\n")
+            handle.write(json.dumps({"kind": "something-else"}) + "\n")
+        assert set(make_journal(tmp_path).load_completed()) == {0}
+
+
+class TestHeaderValidation:
+    def test_fingerprint_mismatch(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open_for_append(fresh=True)
+        journal.close()
+        other = make_journal(tmp_path, dict(FINGERPRINT, num_samples=99))
+        with pytest.raises(ConfigurationError, match="fingerprint mismatch"):
+            other.load_completed()
+
+    def test_unreadable_header(self, tmp_path):
+        journal = make_journal(tmp_path)
+        with open(journal.path, "w") as handle:
+            handle.write("{garbage\n")
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            journal.load_completed()
+
+    def test_missing_header_kind(self, tmp_path):
+        journal = make_journal(tmp_path)
+        with open(journal.path, "w") as handle:
+            handle.write(json.dumps({"kind": "sample", "index": 0}) + "\n")
+        with pytest.raises(ConfigurationError, match="header"):
+            journal.load_completed()
+
+    def test_empty_file_is_empty(self, tmp_path):
+        journal = make_journal(tmp_path)
+        open(journal.path, "w").close()
+        assert journal.load_completed() == {}
+
+
+class TestOpenJournalHelper:
+    def test_none_path_disables_journaling(self):
+        journal, completed = open_journal(None, FINGERPRINT, resume=False)
+        assert journal is None
+        assert completed == {}
+
+    def test_resume_returns_completed(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal, _ = open_journal(path, FINGERPRINT, resume=False)
+        journal.record_sample(0, "s0", {})
+        journal.close()
+        journal, completed = open_journal(path, FINGERPRINT, resume=True)
+        journal.close()
+        assert set(completed) == {0}
+
+    def test_fresh_run_ignores_existing_entries(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal, _ = open_journal(path, FINGERPRINT, resume=False)
+        journal.record_sample(0, "s0", {})
+        journal.close()
+        journal, completed = open_journal(path, FINGERPRINT, resume=False)
+        journal.close()
+        assert completed == {}

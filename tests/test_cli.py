@@ -43,6 +43,45 @@ class TestExtract:
         output = str(tmp_path / "cfgs")
         assert main(["extract", str(bad), "--output", output]) == 1
 
+    def test_failure_reports_kind(self, tmp_path, capsys):
+        bad = tmp_path / "bad.asm"
+        bad.write_text("")
+        assert main(["extract", str(bad),
+                     "--output", str(tmp_path / "cfgs")]) == 1
+        assert "[parse]" in capsys.readouterr().err
+
+    def test_parallel_extraction(self, listing_file, tmp_path):
+        output = str(tmp_path / "cfgs")
+        assert main(["extract", listing_file, "--output", output,
+                     "--n-jobs", "2", "--timeout", "30"]) == 0
+        assert os.path.exists(os.path.join(output, "sample.json"))
+
+    def test_max_vertices_guard(self, listing_file, tmp_path, capsys):
+        output = str(tmp_path / "cfgs")
+        assert main(["extract", listing_file, "--output", output,
+                     "--max-vertices", "1"]) == 1
+        assert "[oversize]" in capsys.readouterr().err
+
+    def test_journal_and_resume(self, listing_file, tmp_path, capsys):
+        output = str(tmp_path / "cfgs")
+        journal = str(tmp_path / "extract.jsonl")
+        assert main(["extract", listing_file, "--output", output,
+                     "--journal", journal]) == 0
+        assert os.path.exists(journal)
+        capsys.readouterr()
+        assert main(["extract", listing_file, "--output", output,
+                     "--journal", journal, "--resume"]) == 0
+        assert "resumed" in capsys.readouterr().out
+
+    def test_quarantine_flag(self, tmp_path):
+        bad = tmp_path / "bad.asm"
+        bad.write_text("")
+        quarantine = str(tmp_path / "quarantine")
+        assert main(["extract", str(bad),
+                     "--output", str(tmp_path / "cfgs"),
+                     "--quarantine", quarantine]) == 1
+        assert len(os.listdir(quarantine)) == 1
+
 
 class TestTrainPredict:
     def test_train_then_predict(self, tmp_path, listing_file, capsys):

@@ -1,0 +1,69 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pickle
+
+import pytest
+
+from repro.testing.faults import CORRUPT_OUTPUT, FaultKind, FaultPlan
+
+
+class TestBuild:
+    def test_empty_plan(self):
+        plan = FaultPlan.build()
+        assert plan.fault_for(0) is None
+        assert plan.apply(0) is None
+
+    def test_kinds_assigned(self):
+        plan = FaultPlan.build(
+            raise_on=[1], hang_on=[2], crash_on=[3], corrupt_on=[4]
+        )
+        assert plan.fault_for(1) is FaultKind.RAISE
+        assert plan.fault_for(2) is FaultKind.HANG
+        assert plan.fault_for(3) is FaultKind.CRASH
+        assert plan.fault_for(4) is FaultKind.CORRUPT
+        assert plan.fault_for(5) is None
+
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(ValueError, match="two faults"):
+            FaultPlan.build(raise_on=[7], crash_on=[7])
+
+    def test_plan_is_picklable(self):
+        # Plans cross the process-pool boundary inside WorkerContext.
+        plan = FaultPlan.build(hang_on=[1], hang_seconds=5.0, exit_code=42)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert clone.fault_for(1) is FaultKind.HANG
+
+    def test_plan_is_immutable(self):
+        plan = FaultPlan.build(raise_on=[1])
+        with pytest.raises((AttributeError, TypeError)):
+            plan.hang_seconds = 0.0
+
+
+class TestApply:
+    def test_raise_fault(self):
+        plan = FaultPlan.build(raise_on=[3])
+        with pytest.raises(RuntimeError, match="injected fault"):
+            plan.apply(3)
+
+    def test_hang_fault_sleeps_then_raises(self):
+        # A short hang window keeps the unit test fast; in real use the
+        # parent kills the worker long before the sleep ends.
+        plan = FaultPlan.build(hang_on=[0], hang_seconds=0.01)
+        with pytest.raises(RuntimeError, match="hang"):
+            plan.apply(0)
+
+    def test_corrupt_fault_returns_sentinel(self):
+        plan = FaultPlan.build(corrupt_on=[2])
+        assert plan.apply(2) is CORRUPT_OUTPUT
+
+    def test_clean_index_is_noop(self):
+        plan = FaultPlan.build(raise_on=[1])
+        assert plan.apply(0) is None
+
+
+class TestSentinel:
+    def test_sentinel_identity_survives_pickle(self):
+        # The sentinel crosses the worker pipe; detection is by type.
+        clone = pickle.loads(pickle.dumps(CORRUPT_OUTPUT))
+        assert type(clone) is type(CORRUPT_OUTPUT)
