@@ -1,72 +1,89 @@
 #!/usr/bin/env python
-"""Batch-first inference: the GraphBatch forward contract.
+"""End-to-end online inference through the serving subsystem.
 
-Every DGCNN variant takes a ``GraphBatch`` — a block-diagonal sparse
-merge of a minibatch of ACFGs — as its canonical input.  This example
-shows the three equivalent ways to drive a model:
+The offline story (train a model, call ``predict_proba`` on ACFGs you
+extracted yourself) becomes an online one in three steps:
 
-1. hand it a plain list of ACFGs (it collates internally),
-2. hand it a pre-built ``GraphBatch``,
-3. reuse batches across calls through a memoizing ``BatchCollator``
-   (what ``Trainer`` does for the fixed validation chunks).
-
-It also checks the batched path against the per-graph dense reference
-implementation, ``forward_reference`` — the two agree to ~1e-10.
+1. **Publish** a fitted system to a model registry — a versioned,
+   sha256-verified archive that also pins the fitted attribute-scaling
+   parameters, so serve-time preprocessing is bitwise identical to
+   training.
+2. **Load** it into an :class:`~repro.serve.InferenceEngine`, which runs
+   the whole listing-text -> CFG -> ACFG -> batched-DGCNN path with
+   per-request fault isolation and a content-hash prediction cache.
+3. **Coalesce** concurrent requests with a :class:`~repro.serve.MicroBatcher`
+   so that simultaneous callers share one ``GraphBatch`` forward pass —
+   the same machinery behind ``python -m repro.cli serve``.
 
 Run:  python examples/batched_inference.py
 """
 
-import time
+import tempfile
+import threading
 
-import numpy as np
+from repro.core import Magic, ModelConfig
+from repro.datasets import generate_mskcfg_dataset, generate_mskcfg_listings
+from repro.serve import InferenceEngine, MicroBatcher, publish
+from repro.train import TrainingConfig
 
-from repro.core import GraphBatch, ModelConfig, build_model
-from repro.datasets import generate_mskcfg_dataset
-from repro.features.scaling import AttributeScaler
-from repro.train import BatchCollator
+
+def train_and_publish(registry_root: str) -> None:
+    dataset = generate_mskcfg_dataset(total=36, seed=0, minimum_per_family=4)
+    magic = Magic(
+        ModelConfig(
+            num_attributes=dataset.acfgs[0].num_attributes,
+            num_classes=dataset.num_classes,
+            pooling="sort_weighted",
+            graph_conv_sizes=(16, 16),
+            sort_k=8,
+            hidden_size=16,
+            dropout=0.0,
+            seed=0,
+        ),
+        dataset.family_names,
+    )
+    magic.fit(dataset.acfgs,
+              training_config=TrainingConfig(epochs=3, batch_size=8, seed=0))
+    info = publish(magic, registry_root, "mskcfg-demo")
+    print(f"published {info.describe()} -> {info.path}")
 
 
 def main() -> None:
-    dataset = generate_mskcfg_dataset(total=60, seed=0, minimum_per_family=4)
-    acfgs = AttributeScaler().fit_transform(dataset.acfgs)[:32]
+    registry_root = tempfile.mkdtemp(prefix="magic-registry-")
+    train_and_publish(registry_root)
 
-    model = build_model(ModelConfig(
-        num_attributes=acfgs[0].num_attributes,
-        num_classes=dataset.num_classes,
-        pooling="sort_weighted",
-        graph_conv_sizes=(32, 32, 32, 32),
-        sort_k=10,
-        hidden_size=32,
-        dropout=0.0,
-        seed=0,
-    ))
-    model.eval()
+    engine = InferenceEngine.from_registry(registry_root, "mskcfg-demo")
 
-    # 1. Sequence input: the model collates for you.
-    from_list = model(acfgs)
+    # Fresh listings the model has never seen, plus an exact duplicate
+    # (hits the content-hash cache) and a malformed one (fails alone,
+    # with a structured kind, instead of poisoning the batch).
+    listings = generate_mskcfg_listings(total=9, seed=7, minimum_per_family=1)
+    samples = [(name, text) for name, text, _ in listings]
+    samples.append(("duplicate-of-first", samples[0][1]))
+    samples.append(("not-assembly", "this is not a disassembly listing"))
 
-    # 2. Explicit GraphBatch: build once, reuse as you like.
-    batch = GraphBatch(acfgs)
-    from_batch = model(batch)
-    print(f"batch: {batch.num_graphs} graphs, {batch.total_vertices} vertices,"
-          f" {batch.propagation.nnz} stored non-zeros")
+    print(f"\nclassifying {len(samples)} listings in one batch:")
+    for result in engine.classify_texts(samples):
+        print(f"  {result.describe()}")
 
-    # 3. Memoizing collator: repeat calls skip the rebuild.
-    collator = BatchCollator()
-    collator(acfgs)
-    started = time.perf_counter()
-    from_collator = model(collator(acfgs))
-    warm_ms = (time.perf_counter() - started) * 1000
-    print(f"memoized forward: {warm_ms:.1f} ms"
-          f" (cache hits={collator.hits}, misses={collator.misses})")
+    # Concurrent callers coalesce into shared forward passes.
+    print(f"\nmicro-batching {len(listings)} concurrent requests:")
+    with MicroBatcher(engine, max_batch_size=8, max_wait_ms=200.0) as batcher:
+        threads = [
+            threading.Thread(target=batcher.submit, args=(text,),
+                             kwargs={"name": name})
+            for name, text, _ in listings
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
 
-    np.testing.assert_array_equal(from_list.data, from_batch.data)
-    np.testing.assert_array_equal(from_batch.data, from_collator.data)
-
-    # The per-graph dense loop survives as the reference implementation.
-    reference = model.forward_reference(acfgs)
-    worst = float(np.max(np.abs(from_batch.data - reference.data)))
-    print(f"batched vs per-graph reference, max |Δlog-prob|: {worst:.2e}")
+    snapshot = engine.metrics.snapshot()
+    print(f"  batch size histogram: {snapshot['batches']['size_histogram']}")
+    print(f"  cache hit rate:       {snapshot['cache']['hit_rate']:.2f}")
+    print(f"  requests ok/failed:   {snapshot['requests']['ok']}"
+          f"/{snapshot['requests']['failed']}")
 
 
 if __name__ == "__main__":

@@ -6,8 +6,13 @@ then classify unknown binaries' listings — as four subcommands:
 * ``info``     — parse a listing, print CFG structure and metrics.
 * ``extract``  — batch-convert listings to cached CFG JSON files.
 * ``train``    — train a MAGIC instance on a synthetic corpus (or a
-  directory of cached CFGs named ``<family>__<id>.json``) and persist it.
+  directory of cached CFGs named ``<family>__<id>.json``) and persist it,
+  optionally publishing an integrity-checked archive to a registry.
 * ``predict``  — classify listings with a persisted model.
+* ``classify`` — classify listings through the serving engine
+  (registry archives, per-request failure kinds, prediction cache).
+* ``serve``    — run the micro-batching HTTP classification service
+  (``/classify``, ``/healthz``, ``/metrics``).
 * ``sweep``    — Table II-style hyper-parameter sweep with ``--n-jobs``
   process-pool parallelism and ``--journal``/``--resume`` checkpointing.
 
@@ -163,6 +168,83 @@ def cmd_train(args: argparse.Namespace) -> int:
           f"(validation loss {history.best_validation_loss:.4f})")
     magic.save(args.model_dir)
     print(f"Model saved to {args.model_dir}")
+    if args.registry:
+        from repro.serve import publish
+
+        info = publish(magic, args.registry,
+                       args.model_name or args.dataset)
+        print(f"Published archive {info.describe()} to {info.path}")
+    return 0
+
+
+def _serving_engine(args: argparse.Namespace):
+    """Build the ``InferenceEngine`` shared by ``classify`` and ``serve``."""
+    from repro.serve import InferenceEngine
+
+    kwargs = {"max_vertices": args.max_vertices}
+    if args.model_dir:
+        return InferenceEngine.from_archive(args.model_dir, **kwargs)
+    if not (args.registry and args.model):
+        raise MagicError(
+            "pass either --model-dir, or --registry with --model NAME[@VERSION]"
+        )
+    name, _, version = args.model.partition("@")
+    return InferenceEngine.from_registry(
+        args.registry, name, version or None, **kwargs
+    )
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    """Classify listings through the serving engine, one batched forward.
+
+    Unlike ``predict`` this runs on the online-serving path: archives
+    come from the integrity-checked registry, repeated inputs hit the
+    content-hash prediction cache, and a malformed listing is reported
+    with its structured failure kind (``[parse]``, ``[oversize]``, ...)
+    without poisoning the rest of the batch.
+    """
+    engine = _serving_engine(args)
+    samples = []
+    for path in args.listings:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            samples.append((path, handle.read()))
+    results = engine.classify_texts(samples)
+    status = 0
+    for result in results:
+        if result.failure is not None:
+            print(f"FAILED {result.name} [{result.failure.kind.value}]: "
+                  f"{result.failure.detail}", file=sys.stderr)
+            status = 1
+        else:
+            cached = " (cached)" if result.cached else ""
+            print(f"{result.name}: {result.family} "
+                  f"(confidence {result.confidence:.3f}){cached}")
+    return status
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the micro-batching HTTP classification service."""
+    from repro.serve import build_server
+
+    engine = _serving_engine(args)
+    server = build_server(
+        engine,
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        quiet=not args.verbose,
+    )
+    described = (engine.model_info.describe()
+                 if engine.model_info else "in-process model")
+    print(f"Serving {described} on http://{args.host}:{server.port} "
+          f"(max_batch_size={args.max_batch_size}, "
+          f"max_wait_ms={args.max_wait_ms})")
+    print("Endpoints: POST /classify, GET /healthz, GET /metrics")
+    try:
+        server.serve()
+    except KeyboardInterrupt:
+        print("shutting down")
     return 0
 
 
@@ -310,6 +392,11 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("adaptive", "sort_conv1d", "sort_weighted"))
     p_train.add_argument("--seed", type=int, default=0)
     p_train.add_argument("--model-dir", required=True)
+    p_train.add_argument("--registry",
+                         help="also publish a sha256-verified archive to "
+                              "this registry root")
+    p_train.add_argument("--model-name",
+                         help="registry model name (default: dataset name)")
     p_train.set_defaults(func=cmd_train)
 
     p_sweep = sub.add_parser(
@@ -338,6 +425,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument("--model-dir", required=True)
     p_predict.add_argument("listings", nargs="+")
     p_predict.set_defaults(func=cmd_predict)
+
+    def add_model_source(sub_parser):
+        sub_parser.add_argument("--registry",
+                                help="model registry root directory")
+        sub_parser.add_argument("--model",
+                                help="registry model as NAME or NAME@VERSION")
+        sub_parser.add_argument("--model-dir",
+                                help="load one archive directory instead "
+                                     "(legacy Magic.save dirs load with a "
+                                     "warning)")
+        sub_parser.add_argument("--max-vertices", type=int, default=None,
+                                help="per-request graph size guard "
+                                     "(oversize requests fail [oversize])")
+
+    p_classify = sub.add_parser(
+        "classify",
+        help="classify listings via the serving engine (per-request "
+             "failure kinds, prediction cache)",
+    )
+    add_model_source(p_classify)
+    p_classify.add_argument("listings", nargs="+")
+    p_classify.set_defaults(func=cmd_classify)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the micro-batching HTTP classification service"
+    )
+    add_model_source(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8731,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--max-batch-size", type=int, default=32,
+                         help="requests coalesced into one forward pass")
+    p_serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                         help="how long the first request of a batch waits "
+                              "for company")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -71,6 +71,19 @@ class TrainingError(MagicError):
     """Raised when model training cannot proceed (e.g. empty fold)."""
 
 
+class ServeError(MagicError):
+    """Raised by the online classification service (`repro.serve`)."""
+
+
+class RegistryError(ServeError):
+    """Raised when a model archive fails integrity or schema checks.
+
+    Covers tampered weights (sha256 mismatch against the archive
+    manifest), family-table mismatches between the manifest and the
+    model metadata, and unsupported archive format versions.
+    """
+
+
 class TrainingDivergedError(TrainingError):
     """Raised when training produces a non-finite loss or gradient.
 

@@ -1,0 +1,48 @@
+"""Online classification service: the deployment layer of MAGIC.
+
+The paper frames per-sample testing time as the deployment-relevant
+metric (Section V-E); this package turns the trained pieces into the
+service that metric describes:
+
+* :mod:`repro.serve.registry` — versioned, sha256-verified model
+  archives carrying the family table and the fitted scaling parameters.
+* :mod:`repro.serve.engine` — the text -> CFG -> ACFG -> batched-DGCNN
+  prediction path with per-request fault isolation and a content-hash
+  LRU prediction cache.
+* :mod:`repro.serve.batching` — micro-batching queue coalescing
+  concurrent requests into shared ``GraphBatch`` forwards.
+* :mod:`repro.serve.http` — stdlib threaded HTTP front end
+  (``/classify``, ``/healthz``, ``/metrics``).
+* :mod:`repro.serve.metrics` — thread-safe counters, latency
+  percentiles, and the micro-batch size histogram behind ``/metrics``.
+"""
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.engine import ClassificationResult, InferenceEngine
+from repro.serve.http import ClassificationServer, build_server
+from repro.serve.metrics import ServeMetrics
+from repro.serve.registry import (
+    ArchiveInfo,
+    LoadedModel,
+    list_models,
+    list_versions,
+    load,
+    load_archive,
+    publish,
+)
+
+__all__ = [
+    "ArchiveInfo",
+    "ClassificationResult",
+    "ClassificationServer",
+    "InferenceEngine",
+    "LoadedModel",
+    "MicroBatcher",
+    "ServeMetrics",
+    "build_server",
+    "list_models",
+    "list_versions",
+    "load",
+    "load_archive",
+    "publish",
+]

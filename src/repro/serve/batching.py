@@ -1,0 +1,182 @@
+"""Micro-batching request queue: coalesce concurrent requests.
+
+The batched forward path (PR 1) makes a 32-graph batch barely more
+expensive than a single graph — but an online service receives requests
+one at a time.  The :class:`MicroBatcher` bridges the two: concurrent
+``submit`` calls park on a queue, a single worker thread drains it into
+batches of up to ``max_batch_size`` (waiting at most ``max_wait_ms``
+after the first request arrives for stragglers to join), and each batch
+runs through :meth:`InferenceEngine.classify_texts` as **one**
+``GraphBatch`` forward.
+
+Latency/throughput knobs:
+
+* ``max_batch_size`` caps how many requests share a forward pass;
+* ``max_wait_ms`` caps how long the *first* request of a batch waits
+  for company — ``0`` degenerates to one-request-at-a-time.
+
+The worker serializes model access, so the engine never sees two
+concurrent forwards; HTTP handler threads only block on their own
+request's event.  Batch sizes are recorded into the shared
+:class:`~repro.serve.metrics.ServeMetrics` histogram, which is how the
+end-to-end tests (and operators) observe that coalescing actually
+happened.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.exceptions import ServeError
+from repro.features.pipeline import ExtractionFailure, FailureKind
+from repro.serve.engine import ClassificationResult, InferenceEngine
+
+#: Default coalescing knobs: favour latency (a few ms) over batch size.
+DEFAULT_MAX_BATCH_SIZE = 32
+DEFAULT_MAX_WAIT_MS = 5.0
+
+
+class _PendingRequest:
+    __slots__ = ("name", "text", "event", "result")
+
+    def __init__(self, name: str, text: str) -> None:
+        self.name = name
+        self.text = text
+        self.event = threading.Event()
+        self.result: Optional[ClassificationResult] = None
+
+
+class MicroBatcher:
+    """Coalesces concurrent classification requests into shared forwards."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ServeError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if max_wait_ms < 0:
+            raise ServeError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.engine = engine
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self._queue: Deque[_PendingRequest] = deque()
+        self._state = threading.Condition()
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "MicroBatcher":
+        with self._state:
+            if self._running:
+                raise ServeError("MicroBatcher is already running")
+            self._running = True
+        self._thread = threading.Thread(
+            target=self._worker, name="micro-batcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting work and drain what is already queued."""
+        with self._state:
+            if not self._running:
+                return
+            self._running = False
+            self._state.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- request side --------------------------------------------------
+
+    def submit(
+        self, text: str, name: str = "", timeout: Optional[float] = 30.0
+    ) -> ClassificationResult:
+        """Classify ``text``; blocks until its micro-batch completes."""
+        pending = _PendingRequest(name, text)
+        with self._state:
+            if not self._running:
+                raise ServeError(
+                    "MicroBatcher is not running; call start() first"
+                )
+            self._queue.append(pending)
+            self._state.notify_all()
+        if not pending.event.wait(timeout):
+            raise ServeError(
+                f"classification of {name or 'sample'!r} timed out after "
+                f"{timeout}s in the micro-batch queue"
+            )
+        assert pending.result is not None
+        return pending.result
+
+    # -- worker side ---------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            batch = self._collect()
+            if not batch:
+                return  # stopped and drained
+            try:
+                results = self.engine.classify_texts(
+                    [(request.name, request.text) for request in batch]
+                )
+            except Exception as exc:  # noqa: BLE001 — keep the loop alive
+                # An engine bug must not strand the waiting requests (or
+                # kill the worker): every request in the batch gets a
+                # structured unexpected-failure result.
+                results = [
+                    ClassificationResult(
+                        name=request.name,
+                        failure=ExtractionFailure(
+                            name=request.name,
+                            kind=FailureKind.UNEXPECTED,
+                            detail=f"{type(exc).__name__}: {exc}",
+                            index=index,
+                        ),
+                    )
+                    for index, request in enumerate(batch)
+                ]
+            self.engine.metrics.observe_batch(len(batch))
+            for request, result in zip(batch, results):
+                request.result = result
+                request.event.set()
+
+    def _collect(self) -> List[_PendingRequest]:
+        """Block for the next batch: first arrival opens a wait window."""
+        with self._state:
+            while self._running and not self._queue:
+                self._state.wait()
+            if not self._queue:
+                return []  # stop() with an empty queue
+            deadline = time.monotonic() + self.max_wait_ms / 1000.0
+            while (
+                self._running
+                and len(self._queue) < self.max_batch_size
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._state.wait(remaining)
+            batch = []
+            while self._queue and len(batch) < self.max_batch_size:
+                batch.append(self._queue.popleft())
+            return batch

@@ -1,0 +1,313 @@
+"""Online inference engine: disassembly text -> family, fault-isolated.
+
+The engine runs the full MAGIC prediction path — parse the listing,
+build the CFG, extract the ACFG, apply the *training-time* attribute
+scaling, and run one batched DGCNN forward over the whole request batch
+(the PR-1 ``GraphBatch`` contract, via ``Magic.predict_proba``).
+
+Two production concerns shape it:
+
+* **Per-request fault isolation.**  Every sample goes through the same
+  :func:`~repro.features.pipeline.execute_unit` boundary as batch
+  extraction, so a malformed listing becomes a structured
+  :class:`~repro.features.pipeline.ExtractionFailure` (``parse`` /
+  ``oversize`` / ``unexpected``) on *its own* result — it never poisons
+  the other requests coalesced into the same micro-batch.
+* **A content-hash LRU prediction cache.**  Malware corpora are heavy
+  with exact duplicates (repacked submissions, re-scanned files); a
+  sha256-of-text key serves repeats without re-running disassembly or
+  the model.  Failures are cached too — they are deterministic
+  properties of the input, the same philosophy as the extraction
+  journal's replay-not-retry rule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.magic import Magic
+from repro.exceptions import ServeError
+from repro.features.acfg import ACFG
+from repro.features.pipeline import (
+    ExtractionFailure,
+    FailureKind,
+    WorkerContext,
+    execute_unit,
+    resolve_worker,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.registry import ArchiveInfo, load, load_archive
+from repro.testing.faults import FaultPlan
+
+#: Default bound on the content-hash prediction cache.
+DEFAULT_CACHE_SIZE = 1024
+
+
+@dataclasses.dataclass
+class ClassificationResult:
+    """Outcome of one classification request.
+
+    Exactly one of (``family``, ``failure``) is set: a request either
+    produces a prediction or a structured extraction failure.
+    """
+
+    name: str
+    family: Optional[str] = None
+    label: Optional[int] = None
+    probabilities: Optional[np.ndarray] = None
+    #: Served from the content-hash cache instead of a fresh forward.
+    cached: bool = False
+    failure: Optional[ExtractionFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    @property
+    def confidence(self) -> float:
+        if self.probabilities is None:
+            return 0.0
+        return float(self.probabilities.max())
+
+    def describe(self) -> str:
+        if self.failure is not None:
+            return (f"{self.name}: FAILED [{self.failure.kind.value}] "
+                    f"{self.failure.detail}")
+        suffix = " (cached)" if self.cached else ""
+        return (f"{self.name}: {self.family} "
+                f"(confidence {self.confidence:.3f}){suffix}")
+
+
+#: Cache entry: ("ok", family, label, probabilities) or
+#: ("fail", kind_value, detail).
+_CacheEntry = Tuple
+
+
+class InferenceEngine:
+    """Classifies disassembly listings with a loaded :class:`Magic` system.
+
+    Parameters
+    ----------
+    magic:
+        A fitted system (trained in-process or loaded from an archive).
+    model_info:
+        Archive identity for ``/healthz`` and logs; optional for
+        in-process models.
+    metrics:
+        Shared :class:`ServeMetrics` sink; a private one is created when
+        omitted.
+    cache_size:
+        Bound on the content-hash prediction cache (``0`` disables).
+    max_vertices:
+        Per-request graph-size guard, same semantics as the extraction
+        pipeline's (oversize requests fail with ``[oversize]``).
+    fault_plan:
+        Deterministic fault injection for tests; indices refer to
+        positions within one ``classify_texts`` batch.
+    """
+
+    def __init__(
+        self,
+        magic: Magic,
+        *,
+        model_info: Optional[ArchiveInfo] = None,
+        metrics: Optional[ServeMetrics] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_vertices: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        if not magic.scaler.is_fitted:
+            raise ServeError(
+                "cannot serve an unfitted model: train it or load a "
+                "published archive first"
+            )
+        if cache_size < 0:
+            raise ServeError(f"cache_size must be >= 0, got {cache_size}")
+        self.magic = magic
+        self.model_info = model_info
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.cache_size = cache_size
+        self.max_vertices = max_vertices
+        self.fault_plan = fault_plan
+        self._spec = resolve_worker("text")
+        self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+
+    # -- constructors over the registry -------------------------------
+
+    @classmethod
+    def from_registry(
+        cls,
+        root: str,
+        name: str,
+        version: Optional[str] = None,
+        **kwargs,
+    ) -> "InferenceEngine":
+        """Engine over a registry archive (``version=None`` = latest)."""
+        loaded = load(root, name, version)
+        return cls(loaded.magic, model_info=loaded.info, **kwargs)
+
+    @classmethod
+    def from_archive(cls, path: str, **kwargs) -> "InferenceEngine":
+        """Engine over one archive directory (legacy dirs load with a
+        warning)."""
+        loaded = load_archive(path)
+        return cls(loaded.magic, model_info=loaded.info, **kwargs)
+
+    # -- classification ------------------------------------------------
+
+    @property
+    def family_names(self) -> List[str]:
+        return self.magic.family_names
+
+    def classify_text(self, text: str, name: str = "") -> ClassificationResult:
+        """Classify one listing (a batch of one)."""
+        return self.classify_texts([(name, text)])[0]
+
+    def classify_texts(
+        self, samples: Sequence[Tuple[str, str]]
+    ) -> List[ClassificationResult]:
+        """Classify ``(name, asm_text)`` samples in one batched forward.
+
+        Results align with the input order.  Extraction runs per sample
+        behind the shared fault-isolation boundary; all surviving ACFGs
+        then go through a single scaled ``GraphBatch`` forward pass.
+        """
+        results: List[Optional[ClassificationResult]] = [None] * len(samples)
+        pending: List[Tuple[int, str, ACFG]] = []  # (index, cache key, acfg)
+        in_flight: set = set()  # keys with an extraction pending this batch
+        followers: Dict[str, List[Tuple[int, str]]] = {}
+
+        for index, (name, text) in enumerate(samples):
+            key = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            entry = self._cache_get(key)
+            if entry is not None:
+                self.metrics.observe_cache(True)
+                results[index] = self._from_cache(name, index, entry)
+                self._count(results[index])
+                continue
+            if key in in_flight:
+                # Exact duplicate of an earlier sample in this batch:
+                # serve it from that sample's forthcoming prediction
+                # instead of extracting and forwarding it again.
+                self.metrics.observe_cache(True)
+                followers.setdefault(key, []).append((index, name))
+                continue
+            self.metrics.observe_cache(False)
+            started = time.perf_counter()
+            outcome = execute_unit(
+                self._spec.fn,
+                (name, text, None),
+                index,
+                WorkerContext(
+                    max_vertices=self.max_vertices,
+                    fault_plan=self.fault_plan,
+                ),
+            )
+            self.metrics.observe_stage(
+                "extract", time.perf_counter() - started
+            )
+            status, *payload = outcome
+            if status == "ok" and not self._spec.validate(payload[0]):
+                status, payload = "fail", [
+                    FailureKind.UNEXPECTED.value,
+                    "worker emitted corrupt output "
+                    f"({type(payload[0]).__name__})",
+                ]
+            if status == "ok":
+                in_flight.add(key)
+                pending.append((index, key, payload[0]))
+            else:
+                entry = ("fail", payload[0], payload[1])
+                self._cache_put(key, entry)
+                results[index] = self._from_cache(
+                    name, index, entry, cached=False
+                )
+                self._count(results[index])
+
+        if pending:
+            started = time.perf_counter()
+            probabilities = self.magic.predict_proba(
+                [acfg for _, _, acfg in pending]
+            )
+            self.metrics.observe_stage(
+                "forward", time.perf_counter() - started
+            )
+            for (index, key, _), row in zip(pending, probabilities):
+                label = int(row.argmax())
+                entry = ("ok", self.family_names[label], label, row.copy())
+                self._cache_put(key, entry)
+                name = samples[index][0]
+                results[index] = ClassificationResult(
+                    name=name,
+                    family=entry[1],
+                    label=label,
+                    probabilities=row,
+                )
+                self._count(results[index])
+                for dup_index, dup_name in followers.pop(key, ()):
+                    results[dup_index] = self._from_cache(
+                        dup_name, dup_index, entry
+                    )
+                    self._count(results[dup_index])
+
+        return results  # type: ignore[return-value] — every slot is filled
+
+    # -- internals -----------------------------------------------------
+
+    def _from_cache(
+        self, name: str, index: int, entry: _CacheEntry, cached: bool = True
+    ) -> ClassificationResult:
+        if entry[0] == "ok":
+            _, family, label, probabilities = entry
+            return ClassificationResult(
+                name=name,
+                family=family,
+                label=label,
+                probabilities=probabilities,
+                cached=cached,
+            )
+        _, kind_value, detail = entry
+        return ClassificationResult(
+            name=name,
+            cached=cached,
+            failure=ExtractionFailure(
+                name=name,
+                kind=FailureKind(kind_value),
+                detail=detail,
+                index=index,
+            ),
+        )
+
+    def _count(self, result: ClassificationResult) -> None:
+        kind = result.failure.kind.value if result.failure else None
+        self.metrics.observe_request(result.ok, kind)
+
+    def _cache_get(self, key: str) -> Optional[_CacheEntry]:
+        if self.cache_size == 0:
+            return None
+        with self._cache_lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+            return entry
+
+    def _cache_put(self, key: str, entry: _CacheEntry) -> None:
+        if self.cache_size == 0:
+            return
+        with self._cache_lock:
+            self._cache[key] = entry
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    def cache_info(self) -> Dict[str, int]:
+        with self._cache_lock:
+            return {"entries": len(self._cache), "bound": self.cache_size}

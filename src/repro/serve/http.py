@@ -1,0 +1,217 @@
+"""Stdlib-only threaded HTTP front end for the classification service.
+
+Three endpoints, all JSON:
+
+* ``POST /classify`` — body ``{"name": "...", "asm": "<listing text>"}``;
+  replies ``200`` with family/label/probabilities, or ``422`` with the
+  structured extraction failure (``{"error": {"kind", "detail"}}``) when
+  the *sample* is bad, or ``400`` when the *request* is bad.
+* ``GET /healthz``  — liveness plus the served model's identity.
+* ``GET /metrics``  — the :class:`~repro.serve.metrics.ServeMetrics`
+  snapshot (request counts, cache hit rate, per-stage latency
+  percentiles, micro-batch size histogram).
+
+Handler threads (``ThreadingHTTPServer``, one per connection) park in
+the :class:`~repro.serve.batching.MicroBatcher` queue, so concurrent
+``/classify`` requests coalesce into shared ``GraphBatch`` forwards;
+the model itself only ever runs on the batcher's worker thread.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.exceptions import ServeError
+from repro.serve.batching import (
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_WAIT_MS,
+    MicroBatcher,
+)
+from repro.serve.engine import ClassificationResult, InferenceEngine
+
+#: Largest accepted request body; a listing bigger than this is not a
+#: classification request, it is a denial of service.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class ClassificationServer(ThreadingHTTPServer):
+    """HTTP server owning an engine and its micro-batcher."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        engine: InferenceEngine,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        request_timeout: float = 60.0,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self.batcher = MicroBatcher(
+            engine, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
+        )
+        self.request_timeout = request_timeout
+        self.quiet = quiet
+        self.started_at = time.monotonic()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def __enter__(self) -> "ClassificationServer":
+        self.batcher.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+        self.batcher.stop()
+        self.server_close()
+
+    def serve(self) -> None:
+        """Run until interrupted (the CLI entry point)."""
+        with self:
+            self.serve_forever()
+
+
+def build_server(
+    engine: InferenceEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+    max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+    request_timeout: float = 60.0,
+    quiet: bool = True,
+) -> ClassificationServer:
+    """A configured (not yet started) server; ``port=0`` picks a free one."""
+    return ClassificationServer(
+        (host, port),
+        engine,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        request_timeout=request_timeout,
+        quiet=quiet,
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ClassificationServer
+
+    # -- routing -------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            self._send(200, self._health_payload())
+        elif self.path == "/metrics":
+            self._send(200, self.server.engine.metrics.snapshot())
+        else:
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        if self.path != "/classify":
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+            return
+        started = time.perf_counter()
+        body, error = self._read_json()
+        if error is not None:
+            self._send(400, {"error": error})
+            return
+        text = body.get("asm")
+        if not isinstance(text, str) or not text.strip():
+            self._send(
+                400,
+                {"error": "request body must carry a non-empty 'asm' "
+                          "field with the listing text"},
+            )
+            return
+        name = body.get("name", "")
+        if not isinstance(name, str):
+            self._send(400, {"error": "'name' must be a string"})
+            return
+        try:
+            result = self.server.batcher.submit(
+                text, name=name, timeout=self.server.request_timeout
+            )
+        except ServeError as exc:
+            # Queue timeout or a stopping batcher: the service (not the
+            # sample) is the problem, so 503 rather than 422.
+            self._send(503, {"error": str(exc)})
+            return
+        self.server.engine.metrics.observe_stage(
+            "request", time.perf_counter() - started
+        )
+        status, payload = _result_payload(result)
+        self._send(status, payload)
+
+    # -- helpers -------------------------------------------------------
+
+    def _health_payload(self) -> dict:
+        info = self.server.engine.model_info
+        return {
+            "status": "ok",
+            "model": info.describe() if info is not None else "in-process",
+            "families": self.server.engine.family_names,
+            "uptime_seconds": round(
+                time.monotonic() - self.server.started_at, 3
+            ),
+            "batching": {
+                "max_batch_size": self.server.batcher.max_batch_size,
+                "max_wait_ms": self.server.batcher.max_wait_ms,
+            },
+        }
+
+    def _read_json(self) -> Tuple[Optional[dict], Optional[str]]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            return None, "missing or invalid Content-Length"
+        if length <= 0:
+            return None, "empty request body"
+        if length > MAX_BODY_BYTES:
+            return None, f"request body exceeds {MAX_BODY_BYTES} bytes"
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return None, f"request body is not valid JSON: {exc}"
+        if not isinstance(body, dict):
+            return None, "request body must be a JSON object"
+        return body, None
+
+    def _send(self, status: int, payload: dict) -> None:
+        encoded = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+
+def _result_payload(result: ClassificationResult) -> Tuple[int, dict]:
+    if result.failure is not None:
+        return 422, {
+            "name": result.name,
+            "cached": result.cached,
+            "error": {
+                "kind": result.failure.kind.value,
+                "detail": result.failure.detail,
+            },
+        }
+    assert result.probabilities is not None
+    return 200, {
+        "name": result.name,
+        "family": result.family,
+        "label": result.label,
+        "confidence": result.confidence,
+        "cached": result.cached,
+        "probabilities": [float(p) for p in result.probabilities],
+    }

@@ -1,0 +1,58 @@
+"""Shared fixtures for the serving-layer tests.
+
+Training even a tiny DGCNN dominates test wall-clock, so one fitted
+system (and one published registry) is shared session-wide; tests must
+treat both as read-only.
+"""
+
+import pytest
+
+from repro.core import Magic, ModelConfig
+from repro.datasets import generate_mskcfg_dataset, generate_mskcfg_listings
+from repro.serve import publish
+from repro.train.trainer import TrainingConfig
+
+MODEL_NAME = "mskcfg-tiny"
+
+
+def train_tiny_magic(seed: int = 0) -> Magic:
+    dataset = generate_mskcfg_dataset(total=27, seed=seed,
+                                      minimum_per_family=3)
+    config = ModelConfig(
+        num_attributes=dataset.acfgs[0].num_attributes,
+        num_classes=dataset.num_classes,
+        pooling="sort_weighted",
+        graph_conv_sizes=(8, 8),
+        sort_k=6,
+        hidden_size=8,
+        dropout=0.0,
+        seed=seed,
+    )
+    magic = Magic(config, dataset.family_names)
+    magic.fit(
+        dataset.acfgs,
+        training_config=TrainingConfig(epochs=2, batch_size=8, seed=seed),
+    )
+    return magic
+
+
+@pytest.fixture(scope="session")
+def tiny_magic():
+    """One fitted system for the whole session (do not mutate)."""
+    return train_tiny_magic()
+
+
+@pytest.fixture(scope="session")
+def registry_root(tmp_path_factory, tiny_magic):
+    """A registry with ``mskcfg-tiny@v1`` published (do not mutate)."""
+    root = str(tmp_path_factory.mktemp("registry"))
+    publish(tiny_magic, root, MODEL_NAME)
+    return root
+
+
+@pytest.fixture(scope="session")
+def listing_samples():
+    """``(name, asm_text)`` samples disjoint from the training corpus."""
+    listings = generate_mskcfg_listings(total=12, seed=7,
+                                        minimum_per_family=1)
+    return [(name, text) for name, text, _ in listings]

@@ -1,0 +1,182 @@
+"""MicroBatcher tests: coalescing, equivalence, isolation, lifecycle."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServeError
+from repro.features.pipeline import FailureKind
+from repro.serve import InferenceEngine, MicroBatcher
+
+from tests.serve.conftest import MODEL_NAME
+
+
+@pytest.fixture()
+def engine(registry_root):
+    return InferenceEngine.from_registry(
+        registry_root, MODEL_NAME, cache_size=0
+    )
+
+
+def submit_concurrently(batcher, samples):
+    """Fire one submitting thread per sample; returns results in order."""
+    results = [None] * len(samples)
+    threads = []
+
+    def worker(index, name, text):
+        results[index] = batcher.submit(text, name=name)
+
+    for index, (name, text) in enumerate(samples):
+        thread = threading.Thread(target=worker, args=(index, name, text))
+        threads.append(thread)
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_a_forward(
+        self, engine, listing_samples
+    ):
+        samples = listing_samples[:6]
+        with MicroBatcher(engine, max_batch_size=6,
+                          max_wait_ms=500.0) as batcher:
+            results = submit_concurrently(batcher, samples)
+        assert all(result.ok for result in results)
+        histogram = engine.metrics.snapshot()["batches"]["size_histogram"]
+        # Every request was served...
+        assert sum(
+            int(size) * count for size, count in histogram.items()
+        ) == len(samples)
+        # ...and at least some genuinely coalesced (the 500 ms window is
+        # enormous next to thread start-up skew, so in practice this is
+        # one batch of 6).
+        assert max(int(size) for size in histogram) >= 2
+
+    def test_results_match_direct_engine_batch(
+        self, registry_root, listing_samples
+    ):
+        samples = listing_samples[:5]
+        direct_engine = InferenceEngine.from_registry(
+            registry_root, MODEL_NAME, cache_size=0
+        )
+        direct = direct_engine.classify_texts(samples)
+
+        batched_engine = InferenceEngine.from_registry(
+            registry_root, MODEL_NAME, cache_size=0
+        )
+        with MicroBatcher(batched_engine, max_batch_size=5,
+                          max_wait_ms=500.0) as batcher:
+            served = submit_concurrently(batcher, samples)
+
+        assert [r.label for r in served] == [r.label for r in direct]
+        assert [r.family for r in served] == [r.family for r in direct]
+
+    def test_zero_wait_degenerates_to_single_requests(
+        self, engine, listing_samples
+    ):
+        with MicroBatcher(engine, max_batch_size=8,
+                          max_wait_ms=0.0) as batcher:
+            # Sequential submits: each request is alone in the queue
+            # when its window (of zero) closes.
+            for name, text in listing_samples[:3]:
+                assert batcher.submit(text, name=name).ok
+        histogram = engine.metrics.snapshot()["batches"]["size_histogram"]
+        assert histogram == {"1": 3}
+
+    def test_max_batch_size_caps_coalescing(self, engine, listing_samples):
+        samples = listing_samples[:6]
+        with MicroBatcher(engine, max_batch_size=2,
+                          max_wait_ms=200.0) as batcher:
+            results = submit_concurrently(batcher, samples)
+        assert all(result.ok for result in results)
+        histogram = engine.metrics.snapshot()["batches"]["size_histogram"]
+        assert max(int(size) for size in histogram) <= 2
+
+
+class TestFaultIsolation:
+    def test_bad_sample_fails_alone_in_a_shared_batch(
+        self, engine, listing_samples
+    ):
+        samples = [listing_samples[0], ("broken", "  "), listing_samples[1]]
+        with MicroBatcher(engine, max_batch_size=3,
+                          max_wait_ms=500.0) as batcher:
+            results = submit_concurrently(batcher, samples)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert results[1].failure.kind is FailureKind.PARSE
+        probabilities = np.stack(
+            [results[0].probabilities, results[2].probabilities]
+        )
+        assert np.isfinite(probabilities).all()
+
+    def test_engine_crash_fails_the_batch_not_the_service(
+        self, engine, listing_samples, monkeypatch
+    ):
+        calls = {"count": 0}
+        real = engine.classify_texts
+
+        def flaky(samples):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("engine exploded")
+            return real(samples)
+
+        monkeypatch.setattr(engine, "classify_texts", flaky)
+        with MicroBatcher(engine, max_batch_size=1,
+                          max_wait_ms=0.0) as batcher:
+            first = batcher.submit(listing_samples[0][1], name="victim")
+            second = batcher.submit(listing_samples[1][1], name="survivor")
+        assert not first.ok
+        assert first.failure.kind is FailureKind.UNEXPECTED
+        assert "engine exploded" in first.failure.detail
+        assert second.ok
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self, engine):
+        batcher = MicroBatcher(engine)
+        with pytest.raises(ServeError, match="not running"):
+            batcher.submit("text", name="early")
+
+    def test_submit_after_stop_raises(self, engine):
+        batcher = MicroBatcher(engine).start()
+        batcher.stop()
+        with pytest.raises(ServeError, match="not running"):
+            batcher.submit("text", name="late")
+
+    def test_double_start_rejected(self, engine):
+        batcher = MicroBatcher(engine).start()
+        try:
+            with pytest.raises(ServeError, match="already running"):
+                batcher.start()
+        finally:
+            batcher.stop()
+
+    def test_stop_is_idempotent(self, engine):
+        batcher = MicroBatcher(engine).start()
+        batcher.stop()
+        batcher.stop()
+
+    def test_invalid_knobs_rejected(self, engine):
+        with pytest.raises(ServeError, match="max_batch_size"):
+            MicroBatcher(engine, max_batch_size=0)
+        with pytest.raises(ServeError, match="max_wait_ms"):
+            MicroBatcher(engine, max_wait_ms=-1.0)
+
+    def test_queue_timeout_raises(self, engine, listing_samples,
+                                  monkeypatch):
+        def stall(samples):
+            import time
+
+            time.sleep(1.0)
+            raise AssertionError("should not be reached in this test")
+
+        monkeypatch.setattr(engine, "classify_texts", stall)
+        with MicroBatcher(engine, max_wait_ms=0.0) as batcher:
+            with pytest.raises(ServeError, match="timed out"):
+                batcher.submit(
+                    listing_samples[0][1], name="slow", timeout=0.05
+                )

@@ -1,0 +1,195 @@
+"""Registry tests: versioning, integrity verification, legacy archives."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RegistryError
+from repro.serve import registry
+from repro.serve.registry import (
+    list_models,
+    list_versions,
+    load,
+    load_archive,
+    publish,
+)
+
+from tests.serve.conftest import MODEL_NAME
+
+
+def _edit_manifest(archive_path, mutate):
+    manifest_path = os.path.join(archive_path, "archive.json")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    mutate(manifest)
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+
+
+class TestPublish:
+    def test_auto_versioning_and_listing(self, tmp_path, tiny_magic):
+        root = str(tmp_path)
+        first = publish(tiny_magic, root, "demo")
+        second = publish(tiny_magic, root, "demo")
+        assert (first.version, second.version) == ("v1", "v2")
+        assert list_versions(root, "demo") == ["v1", "v2"]
+        assert list_models(root) == ["demo"]
+
+    def test_archive_contents(self, registry_root):
+        path = os.path.join(registry_root, MODEL_NAME, "v1")
+        assert sorted(os.listdir(path)) == [
+            "archive.json", "magic.json", "parameters.npz",
+        ]
+        with open(os.path.join(path, "archive.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["format_version"] == registry.ARCHIVE_FORMAT_VERSION
+        assert set(manifest["files"]) == {"parameters.npz", "magic.json"}
+        assert manifest["name"] == MODEL_NAME
+        assert len(manifest["scaler"]["mean"]) > 0
+
+    def test_explicit_version_and_immutability(self, tmp_path, tiny_magic):
+        root = str(tmp_path)
+        publish(tiny_magic, root, "demo", version="2026-08-05")
+        with pytest.raises(RegistryError, match="immutable"):
+            publish(tiny_magic, root, "demo", version="2026-08-05")
+
+    def test_invalid_names_rejected(self, tmp_path, tiny_magic):
+        with pytest.raises(RegistryError, match="invalid model name"):
+            publish(tiny_magic, str(tmp_path), "../escape")
+        with pytest.raises(RegistryError, match="invalid version"):
+            publish(tiny_magic, str(tmp_path), "demo", version="a/b")
+
+    def test_unfitted_model_rejected(self, tmp_path, tiny_magic):
+        from repro.core import Magic
+
+        unfitted = Magic(tiny_magic.model_config, tiny_magic.family_names)
+        with pytest.raises(RegistryError, match="not been fitted"):
+            publish(unfitted, str(tmp_path), "demo")
+
+
+class TestLoad:
+    def test_load_latest_round_trips(self, registry_root, tiny_magic):
+        loaded = load(registry_root, MODEL_NAME)
+        assert loaded.info.version == "v1"
+        assert loaded.info.verified
+        assert loaded.magic.family_names == tiny_magic.family_names
+        for key, value in tiny_magic.model.state_dict().items():
+            np.testing.assert_array_equal(
+                loaded.magic.model.state_dict()[key], value
+            )
+
+    def test_scaler_round_trips_exactly(self, registry_root, tiny_magic):
+        """Serve-time preprocessing == train-time preprocessing (bitwise)."""
+        loaded = load(registry_root, MODEL_NAME)
+        np.testing.assert_array_equal(
+            loaded.magic.scaler.mean_, tiny_magic.scaler.mean_
+        )
+        np.testing.assert_array_equal(
+            loaded.magic.scaler.std_, tiny_magic.scaler.std_
+        )
+        assert loaded.magic.scaler.use_log == tiny_magic.scaler.use_log
+
+    def test_manifest_scaler_matches_weights(self, registry_root, tiny_magic):
+        path = os.path.join(registry_root, MODEL_NAME, "v1")
+        with open(os.path.join(path, "archive.json")) as handle:
+            manifest = json.load(handle)
+        np.testing.assert_array_equal(
+            np.array(manifest["scaler"]["mean"]), tiny_magic.scaler.mean_
+        )
+        np.testing.assert_array_equal(
+            np.array(manifest["scaler"]["std"]), tiny_magic.scaler.std_
+        )
+
+    def test_unknown_model_or_version(self, registry_root):
+        with pytest.raises(RegistryError, match="no published versions"):
+            load(registry_root, "nope")
+        with pytest.raises(RegistryError, match="not found"):
+            load(registry_root, MODEL_NAME, "v99")
+
+
+class TestIntegrity:
+    @pytest.fixture()
+    def archive_path(self, tmp_path, tiny_magic):
+        info = publish(tiny_magic, str(tmp_path), "victim")
+        return info.path
+
+    def test_tampered_weights_rejected(self, archive_path):
+        weights = os.path.join(archive_path, "parameters.npz")
+        with open(weights, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            last = handle.read(1)
+            handle.seek(-1, os.SEEK_END)
+            handle.write(bytes([last[0] ^ 0xFF]))
+        with pytest.raises(RegistryError, match="sha256"):
+            load_archive(archive_path)
+
+    def test_tampered_metadata_rejected(self, archive_path):
+        meta = os.path.join(archive_path, "magic.json")
+        with open(meta, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["family_names"] = list(reversed(payload["family_names"]))
+        with open(meta, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(RegistryError, match="sha256"):
+            load_archive(archive_path)
+
+    def test_family_table_mismatch_rejected(self, archive_path):
+        """A manifest describing a *different* model must not serve.
+
+        The files themselves are untouched (checksums pass); only the
+        manifest's family table lies — the cross-check must catch it.
+        """
+        _edit_manifest(
+            archive_path,
+            lambda m: m.__setitem__(
+                "family_names", list(reversed(m["family_names"]))
+            ),
+        )
+        with pytest.raises(RegistryError, match="family table mismatch"):
+            load_archive(archive_path)
+
+    def test_scaler_mismatch_rejected(self, archive_path):
+        def corrupt(manifest):
+            manifest["scaler"]["mean"][0] += 1.0
+
+        _edit_manifest(archive_path, corrupt)
+        with pytest.raises(RegistryError, match="scaling parameters"):
+            load_archive(archive_path)
+
+    def test_missing_file_rejected(self, archive_path):
+        os.remove(os.path.join(archive_path, "parameters.npz"))
+        with pytest.raises(RegistryError, match="missing"):
+            load_archive(archive_path)
+
+    def test_unsupported_format_version(self, archive_path):
+        _edit_manifest(
+            archive_path, lambda m: m.__setitem__("format_version", 99)
+        )
+        with pytest.raises(RegistryError, match="format_version"):
+            load_archive(archive_path)
+
+
+class TestLegacyArchives:
+    def test_plain_magic_save_dir_warns_and_loads(self, tmp_path, tiny_magic):
+        legacy = str(tmp_path / "legacy-model")
+        tiny_magic.save(legacy)
+        with pytest.warns(UserWarning, match="legacy model archive"):
+            loaded = load_archive(legacy)
+        assert not loaded.info.verified
+        assert loaded.info.version == "legacy"
+        assert loaded.magic.family_names == tiny_magic.family_names
+        np.testing.assert_array_equal(
+            loaded.magic.scaler.mean_, tiny_magic.scaler.mean_
+        )
+
+    def test_republishing_legacy_restores_verification(
+        self, tmp_path, tiny_magic
+    ):
+        legacy = str(tmp_path / "legacy-model")
+        tiny_magic.save(legacy)
+        with pytest.warns(UserWarning):
+            loaded = load_archive(legacy)
+        info = publish(loaded.magic, str(tmp_path / "registry"), "rescued")
+        assert load_archive(info.path).info.verified

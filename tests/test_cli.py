@@ -138,6 +138,100 @@ class TestTrainPredict:
                      listing_file]) == 2
 
 
+class TestClassify:
+    @pytest.fixture(scope="class")
+    def published(self, tmp_path_factory):
+        """Train once for the class: a registry with ``demo@v1`` plus the
+        plain (legacy) model directory."""
+        registry = str(tmp_path_factory.mktemp("registry"))
+        model_dir = str(tmp_path_factory.mktemp("models") / "demo")
+        code = main([
+            "train", "--dataset", "mskcfg", "--total", "36",
+            "--epochs", "1", "--pooling", "sort_weighted",
+            "--model-dir", model_dir,
+            "--registry", registry, "--model-name", "demo",
+        ])
+        assert code == 0
+        return registry, model_dir
+
+    def test_train_publishes_archive(self, published):
+        registry, _ = published
+        assert os.path.exists(
+            os.path.join(registry, "demo", "v1", "archive.json")
+        )
+
+    def test_classify_from_registry(self, published, listing_file, capsys):
+        registry, _ = published
+        capsys.readouterr()
+        code = main(["classify", "--registry", registry, "--model", "demo",
+                     listing_file])
+        assert code == 0
+        assert "confidence" in capsys.readouterr().out
+
+    def test_classify_pinned_version(self, published, listing_file, capsys):
+        registry, _ = published
+        capsys.readouterr()
+        assert main(["classify", "--registry", registry,
+                     "--model", "demo@v1", listing_file]) == 0
+        assert "confidence" in capsys.readouterr().out
+
+    def test_bad_listing_reports_kind_not_poisoning_batch(
+        self, published, listing_file, tmp_path, capsys
+    ):
+        registry, _ = published
+        bad = tmp_path / "bad.asm"
+        bad.write_text("")
+        capsys.readouterr()
+        code = main(["classify", "--registry", registry, "--model", "demo",
+                     listing_file, str(bad)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "[parse]" in captured.err
+        # The good neighbor was still classified.
+        assert "confidence" in captured.out
+
+    def test_oversize_guard(self, published, listing_file, capsys):
+        registry, _ = published
+        capsys.readouterr()
+        assert main(["classify", "--registry", registry, "--model", "demo",
+                     "--max-vertices", "1", listing_file]) == 1
+        assert "[oversize]" in capsys.readouterr().err
+
+    def test_duplicate_listing_hits_cache(self, published, listing_file,
+                                          tmp_path, capsys):
+        registry, _ = published
+        twin = tmp_path / "twin.asm"
+        twin.write_text(open(listing_file).read())
+        capsys.readouterr()
+        assert main(["classify", "--registry", registry, "--model", "demo",
+                     listing_file, str(twin)]) == 0
+        assert "(cached)" in capsys.readouterr().out
+
+    def test_legacy_model_dir_warns_but_classifies(
+        self, published, listing_file, capsys
+    ):
+        _, model_dir = published
+        capsys.readouterr()
+        with pytest.warns(UserWarning, match="legacy model archive"):
+            code = main(["classify", "--model-dir", model_dir, listing_file])
+        assert code == 0
+        assert "confidence" in capsys.readouterr().out
+
+    def test_missing_model_source_errors(self, listing_file, capsys):
+        assert main(["classify", listing_file]) == 2
+        assert "--registry" in capsys.readouterr().err
+
+    def test_serve_parser_wiring(self):
+        from repro.cli import build_parser, cmd_serve
+
+        args = build_parser().parse_args(
+            ["serve", "--registry", "r", "--model", "demo",
+             "--port", "0", "--max-batch-size", "8", "--max-wait-ms", "2"]
+        )
+        assert args.func is cmd_serve
+        assert (args.port, args.max_batch_size, args.max_wait_ms) == (0, 8, 2.0)
+
+
 class TestSweep:
     def test_sweep_writes_ranking_and_journal(self, tmp_path, capsys):
         journal = str(tmp_path / "sweep.jsonl")

@@ -22,6 +22,7 @@ EXPECTED_EXAMPLES = [
     "extended_attributes.py",
     "concept_drift.py",
     "call_graph_analysis.py",
+    "batched_inference.py",
 ]
 
 
