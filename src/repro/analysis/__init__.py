@@ -1,0 +1,44 @@
+"""Project-invariant static analysis (``repro.cli lint``).
+
+An AST-based lint engine whose rules encode the invariants the training
+/ sweep / extraction / serving stack depends on but no generic linter
+can check: deterministic seeding, picklability across process
+boundaries, the structured exception taxonomy, staged atomic writes,
+float-equality discipline in tests, and lock discipline on shared
+serving counters.  See ``docs/USAGE.md`` §12 for the workflow and
+DESIGN.md for the rule-to-invariant table.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    LintEngine,
+    ModuleSource,
+    Rule,
+    register_rule,
+    registered_rules,
+)
+from repro.analysis.findings import (
+    Finding,
+    apply_baseline,
+    findings_to_json,
+    format_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.pragmas import pragma_rules_by_line
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "ModuleSource",
+    "Rule",
+    "apply_baseline",
+    "findings_to_json",
+    "format_findings",
+    "load_baseline",
+    "pragma_rules_by_line",
+    "register_rule",
+    "registered_rules",
+    "write_baseline",
+]

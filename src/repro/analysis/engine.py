@@ -1,0 +1,237 @@
+"""AST-based static-analysis engine for project invariants.
+
+Generic linters cannot check the invariants PRs 1–4 rely on —
+deterministic seeding, picklability across the process-pool boundaries,
+the structured :class:`~repro.exceptions.MagicError` taxonomy, staged
+atomic writes, and lock discipline on shared serving counters.  This
+engine walks Python sources, hands each parsed module to a registry of
+:class:`Rule` subclasses, and applies ``# repro: allow[rule-id]``
+pragma suppression plus an optional baseline file for incremental
+adoption.  ``repro.cli lint`` is the front end; CI runs it over ``src``
+and ``tests`` as a merge gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import pragma_rules_by_line
+from repro.exceptions import ConfigurationError
+
+#: Directory names never descended into when walking a tree.  ``fixtures``
+#: holds deliberately-violating sources for the rule tests.
+SKIP_DIRECTORIES = frozenset(
+    {"__pycache__", ".git", ".hg", ".venv", "node_modules", "fixtures"}
+)
+
+#: Rule id reserved for files that do not parse at all.
+SYNTAX_ERROR_RULE = "syntax-error"
+
+
+@dataclass(frozen=True)
+class ModuleSource:
+    """One parsed Python module plus the context rules need.
+
+    ``slug`` is the display path with forward slashes, so rules can
+    scope themselves by suffix (``slug.endswith("repro/datasets/cache.py")``)
+    regardless of platform or how the path was spelled on the command
+    line.  ``is_test`` gates rules that only apply to library code
+    (taxonomy, determinism) or only to tests (float-equality).
+    """
+
+    path: str
+    text: str
+    tree: ast.Module
+    slug: str
+    is_test: bool
+
+
+class Rule(ABC):
+    """One project invariant, checked per module.
+
+    Subclasses set ``rule_id`` (the pragma / ``--select`` name) and
+    ``description`` (one line, shown by ``lint --list-rules`` and the
+    DESIGN.md table), and yield :class:`Finding` objects from
+    :meth:`check`.  Rules never see pragma or baseline state — the
+    engine applies suppression uniformly afterwards.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    @abstractmethod
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        """Yield every violation of this invariant in ``module``."""
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# registry
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the engine's default set."""
+    if not cls.rule_id:
+        raise ConfigurationError(f"rule class {cls.__name__} has no rule_id")
+    if cls.rule_id in _RULES:
+        raise ConfigurationError(f"duplicate rule id {cls.rule_id!r}")
+    _RULES[cls.rule_id] = cls
+    return cls
+
+
+def registered_rules() -> Dict[str, Type[Rule]]:
+    """All registered rules, importing the built-in set on first use."""
+    from repro.analysis import rules as _builtin  # noqa: F401 — registration side effect
+
+    return dict(_RULES)
+
+
+# ----------------------------------------------------------------------
+# engine
+
+
+def _is_test_path(slug: str) -> bool:
+    parts = slug.split("/")
+    basename = parts[-1]
+    return (
+        "tests" in parts[:-1]
+        or basename.startswith("test_")
+        or basename == "conftest.py"
+    )
+
+
+@dataclass
+class LintEngine:
+    """Run a set of rules over files, directories, or raw source."""
+
+    select: Optional[Sequence[str]] = None
+    _rules: List[Rule] = field(init=False)
+
+    def __post_init__(self) -> None:
+        available = registered_rules()
+        if self.select is None:
+            chosen = sorted(available)
+        else:
+            unknown = sorted(set(self.select) - set(available))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown lint rule(s) {', '.join(unknown)}; "
+                    f"available: {', '.join(sorted(available))}"
+                )
+            chosen = list(dict.fromkeys(self.select))
+        self._rules = [available[rule_id]() for rule_id in chosen]
+
+    # -- discovery ----------------------------------------------------
+
+    @staticmethod
+    def discover(paths: Sequence[str]) -> List[str]:
+        """Expand files/directories into a sorted list of ``.py`` files.
+
+        Directories are walked recursively, skipping
+        :data:`SKIP_DIRECTORIES`; explicitly named files are always
+        included (which is how the fixture tests lint sources that live
+        under an otherwise-skipped ``fixtures`` directory).
+        """
+        files: List[str] = []
+        for path in paths:
+            if os.path.isdir(path):
+                for root, dirnames, filenames in os.walk(path):
+                    dirnames[:] = sorted(
+                        d for d in dirnames if d not in SKIP_DIRECTORIES
+                    )
+                    files.extend(
+                        os.path.join(root, name)
+                        for name in sorted(filenames)
+                        if name.endswith(".py")
+                    )
+            elif os.path.isfile(path):
+                files.append(path)
+            else:
+                raise ConfigurationError(f"lint target {path!r} does not exist")
+        return files
+
+    # -- linting ------------------------------------------------------
+
+    def lint_paths(self, paths: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for filename in self.discover(paths):
+            findings.extend(self.lint_file(filename))
+        return sorted(findings)
+
+    def lint_file(self, path: str) -> List[Finding]:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            text = handle.read()
+        return self.lint_source(text, path)
+
+    def lint_source(
+        self, text: str, path: str, is_test: Optional[bool] = None
+    ) -> List[Finding]:
+        """Lint raw source presented as ``path``.
+
+        ``path`` decides rule scoping (library vs test, allowlisted
+        modules), so tests can present fixture text under any virtual
+        location; ``is_test`` overrides the path-based classification.
+        """
+        slug = path.replace(os.sep, "/")
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule=SYNTAX_ERROR_RULE,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        module = ModuleSource(
+            path=path,
+            text=text,
+            tree=tree,
+            slug=slug,
+            is_test=_is_test_path(slug) if is_test is None else is_test,
+        )
+        allowed = pragma_rules_by_line(text)
+        findings = [
+            finding
+            for rule in self._rules
+            for finding in rule.check(module)
+            if finding.rule not in allowed.get(finding.line, frozenset())
+        ]
+        return sorted(findings)
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers used by several rules
+
+
+def dotted_name(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` attribute chains as a name tuple; None when dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[Tuple[str, ...]]:
+    return dotted_name(node.func)

@@ -1,0 +1,120 @@
+"""Findings and baselines for the project-invariant lint engine.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+*baseline identity* deliberately excludes the line number: a baseline
+records pre-existing debt so incremental adoption does not require
+fixing the whole tree at once, and line numbers drift on every edit.
+Two findings with the same (rule, path, message) are matched by count —
+a file may legitimately carry N identical violations, and fixing one of
+them must surface the baseline shrinkage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import Counter
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Baseline schema version; bumped on incompatible format changes.
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def baseline_key(self) -> BaselineKey:
+        """Line-insensitive identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one line per finding plus a tally."""
+    lines = [finding.format() for finding in findings]
+    counts: Counter[str] = Counter(finding.rule for finding in findings)
+    tally = ", ".join(f"{rule}: {count}" for rule, count in sorted(counts.items()))
+    lines.append(f"{len(findings)} finding(s)" + (f" ({tally})" if tally else ""))
+    return "\n".join(lines)
+
+
+def findings_to_json(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """JSON-ready payload: the findings plus a per-rule count summary."""
+    counts: Counter[str] = Counter(finding.rule for finding in findings)
+    return {
+        "version": BASELINE_VERSION,
+        "findings": [finding.to_dict() for finding in findings],
+        "counts": dict(sorted(counts.items())),
+    }
+
+
+# ----------------------------------------------------------------------
+# baseline files
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Record the current findings as accepted debt."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": finding.rule, "path": finding.path, "message": finding.message}
+            for finding in sorted(findings)
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> "Counter[BaselineKey]":
+    """Baseline entries as a multiset of line-insensitive keys."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read lint baseline {path!r}: {exc}")
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"lint baseline {path!r} has an unsupported format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    accepted: Counter[BaselineKey] = Counter()
+    for entry in payload.get("findings", []):
+        try:
+            accepted[(entry["rule"], entry["path"], entry["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise ConfigurationError(
+                f"lint baseline {path!r} has a malformed entry {entry!r}: {exc}"
+            )
+    return accepted
+
+
+def apply_baseline(
+    findings: Sequence[Finding], accepted: "Counter[BaselineKey]"
+) -> List[Finding]:
+    """Drop findings covered by the baseline multiset (count-aware)."""
+    budget: Counter[BaselineKey] = Counter(accepted)
+    remaining: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            remaining.append(finding)
+    return remaining

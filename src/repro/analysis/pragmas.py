@@ -1,0 +1,39 @@
+"""Pragma suppression for the lint engine.
+
+A finding is suppressed by putting ``# repro: allow[rule-id]`` on the
+line it is reported on (the first line of the offending statement), e.g.
+
+    except Exception as exc:  # repro: allow[broad-except] — fault boundary
+
+Several rules may be allowed at once with a comma list
+(``# repro: allow[broad-except, atomic-write]``), and anything after the
+closing bracket is free-form justification — a pragma without a reason
+reads as noise in review, so the convention is ``allow[...] — why``.
+
+Pragmas are matched textually per physical line, not via the
+tokenizer: that keeps suppression independent of whether the file even
+parses, and makes the marker greppable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+def pragma_rules_by_line(text: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the set of rule ids allowed there."""
+    allowed: Dict[int, FrozenSet[str]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if "repro:" not in line:
+            continue
+        rules = set()
+        for match in _PRAGMA_RE.finditer(line):
+            rules.update(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+        if rules:
+            allowed[number] = frozenset(rules)
+    return allowed

@@ -1,0 +1,24 @@
+"""Built-in project-invariant rules.
+
+Importing this package registers every rule with the engine registry
+(:func:`repro.analysis.engine.register_rule`); the DESIGN.md rule table
+documents which PR's invariant each one guards.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.atomic_write import AtomicWriteRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.float_equality import FloatEqualityRule
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.pool_safety import PoolSafetyRule
+from repro.analysis.rules.taxonomy import ExceptionTaxonomyRule
+
+__all__ = [
+    "AtomicWriteRule",
+    "DeterminismRule",
+    "FloatEqualityRule",
+    "LockDisciplineRule",
+    "PoolSafetyRule",
+    "ExceptionTaxonomyRule",
+]

@@ -1,0 +1,175 @@
+"""Rule ``determinism`` — no global-state RNG, no wall-clock in numerics.
+
+The paper's 5-fold CV and Table II grid search are only reproducible if
+every random draw flows from an explicitly-seeded generator
+(``np.random.default_rng`` / ``SeedSequence``; seeds derive per fold via
+``MODEL_SEED_STRIDE``).  A single ``np.random.rand`` or ``random.random``
+call silently couples results to interpreter-global state — the survey
+literature's most common reproducibility killer.  Wall-clock reads
+(``time.time``, ``datetime.now``) in library code are flagged for the
+same reason: durations belong to the monotonic clocks
+(``time.perf_counter`` / ``time.monotonic``), which stay allowed.
+
+Scope: library modules only (``is_test`` files are exempt).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleSource,
+    Rule,
+    call_name,
+    register_rule,
+)
+
+#: ``np.random`` members that construct explicitly-seeded generators.
+SEEDED_CONSTRUCTORS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+)
+
+#: ``random`` module members that are not draws from the global RNG.
+RANDOM_MODULE_ALLOWED = frozenset({"Random"})
+
+#: Wall-clock reads; monotonic clocks (perf_counter, monotonic) stay legal.
+WALL_CLOCK_TIME = frozenset({"time", "time_ns", "ctime", "localtime"})
+WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Resolve which local names refer to random / numpy / time modules."""
+
+    def __init__(self) -> None:
+        self.random_aliases: Set[str] = set()
+        self.numpy_aliases: Set[str] = set()
+        self.numpy_random_aliases: Set[str] = set()
+        self.time_aliases: Set[str] = set()
+        self.datetime_module_aliases: Set[str] = set()
+        self.datetime_class_aliases: Set[str] = set()
+        self.bare_time_fn: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_aliases.add(bound)
+            elif alias.name in ("numpy", "numpy.random"):
+                self.numpy_aliases.add(bound)
+            elif alias.name == "time":
+                self.time_aliases.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_module_aliases.add(bound)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "numpy" and alias.name == "random":
+                self.numpy_random_aliases.add(bound)
+            elif node.module == "datetime" and alias.name in ("datetime", "date"):
+                self.datetime_class_aliases.add(bound)
+            elif node.module == "time" and alias.name in WALL_CLOCK_TIME:
+                self.bare_time_fn.add(bound)
+
+
+@register_rule
+class DeterminismRule(Rule):
+    rule_id = "determinism"
+    description = (
+        "library code must draw randomness from seeded generators "
+        "(np.random.default_rng / SeedSequence) and never read the wall clock"
+    )
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        if module.is_test:
+            return []
+        imports = _ImportTracker()
+        imports.visit(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_name(node)
+            if chain is None:
+                continue
+            findings.extend(self._check_call(module, node, chain, imports))
+        return findings
+
+    def _check_call(
+        self,
+        module: ModuleSource,
+        node: ast.Call,
+        chain: Tuple[str, ...],
+        imports: _ImportTracker,
+    ) -> Iterable[Finding]:
+        dotted = ".".join(chain)
+        head, tail = chain[0], chain[-1]
+        # -- global RNG ------------------------------------------------
+        if (
+            len(chain) >= 2
+            and head in imports.random_aliases
+            and tail not in RANDOM_MODULE_ALLOWED
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"`{dotted}()` draws from the interpreter-global RNG; "
+                "derive draws from a seeded np.random.Generator "
+                "(np.random.default_rng / SeedSequence) instead",
+            )
+        if (
+            len(chain) >= 3
+            and head in imports.numpy_aliases
+            and chain[1] == "random"
+            and chain[2] not in SEEDED_CONSTRUCTORS
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"`{dotted}()` uses numpy's global RNG state; "
+                "use np.random.default_rng(seed) / SeedSequence so the "
+                "paper's CV folds and grid search stay reproducible",
+            )
+        if (
+            len(chain) >= 2
+            and head in imports.numpy_random_aliases
+            and chain[1] not in SEEDED_CONSTRUCTORS
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"`{dotted}()` uses numpy's global RNG state; "
+                "use default_rng(seed) / SeedSequence instead",
+            )
+        # -- wall clock ------------------------------------------------
+        if (
+            len(chain) >= 2
+            and head in imports.time_aliases
+            and tail in WALL_CLOCK_TIME
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"`{dotted}()` reads the wall clock in a numeric path; "
+                "use time.perf_counter()/time.monotonic() for durations "
+                "or inject a clock",
+            )
+        if len(chain) >= 2 and tail in WALL_CLOCK_DATETIME and (
+            head in imports.datetime_module_aliases
+            or head in imports.datetime_class_aliases
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"`{dotted}()` reads the wall clock in a numeric path; "
+                "inject timestamps at the boundary instead",
+            )
+        if len(chain) == 1 and head in imports.bare_time_fn:
+            yield self.finding(
+                module,
+                node,
+                f"`{dotted}()` reads the wall clock in a numeric path; "
+                "use time.perf_counter()/time.monotonic() instead",
+            )

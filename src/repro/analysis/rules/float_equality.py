@@ -1,0 +1,70 @@
+"""Rule ``float-equality`` — no accidental ``==`` on floats in tests.
+
+The equivalence suites built in PRs 1–3 assert *bit-for-bit* equality
+on purpose (batched vs per-graph forward, resumed vs uninterrupted
+sweep), but most float comparisons in tests are not that — they are
+tolerance assertions written as ``==`` that pass today and flake after
+any reordering of arithmetic.  This rule flags ``==`` / ``!=`` where an
+operand is a float literal (or an explicit ``float(...)`` cast) in test
+modules.  Intentional bit-exactness assertions stay, annotated
+``# repro: allow[float-equality] — exact by construction`` so the
+intent is visible at the assertion site; everything else should use
+``pytest.approx`` / ``np.isclose``.
+
+Scope: test modules only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.engine import Finding, ModuleSource, Rule, register_rule
+
+
+def _is_float_operand(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_operand(node.operand)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    return False
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    rule_id = "float-equality"
+    description = (
+        "tests compare floats with ==/!= only as pragma'd bit-exactness "
+        "assertions; tolerance checks use pytest.approx / np.isclose"
+    )
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        if not module.is_test:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_operand(left) or _is_float_operand(right):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "float equality comparison in a test; use "
+                            "pytest.approx / np.isclose for tolerances, or "
+                            "pragma an intentional bit-exactness assertion "
+                            "(`# repro: allow[float-equality] — reason`)",
+                        )
+                    )
+                    break
+        return findings

@@ -15,6 +15,9 @@ then classify unknown binaries' listings — as four subcommands:
   (``/classify``, ``/healthz``, ``/metrics``).
 * ``sweep``    — Table II-style hyper-parameter sweep with ``--n-jobs``
   process-pool parallelism and ``--journal``/``--resume`` checkpointing.
+* ``lint``     — project-invariant static analysis (``repro.analysis``):
+  determinism, pool-safety, exception taxonomy, atomic writes,
+  float-equality, lock discipline; pragma and baseline aware.
 
 Run ``python -m repro.cli --help`` for usage.
 """
@@ -312,6 +315,53 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.failures else 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Check the tree against the project-invariant rules.
+
+    Exit status: 0 when clean (after pragma and baseline suppression),
+    1 when findings remain, 2 on configuration errors (unknown rule,
+    unreadable baseline, missing target).  CI runs this over ``src``
+    and ``tests`` as the lint gate.
+    """
+    import json
+
+    from repro.analysis import (
+        LintEngine,
+        apply_baseline,
+        findings_to_json,
+        format_findings,
+        load_baseline,
+        registered_rules,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule_id, rule_cls in sorted(registered_rules().items()):
+            print(f"{rule_id:16s} {rule_cls.description}")
+        return 0
+    if not args.paths:
+        raise MagicError("lint needs at least one file or directory to check")
+    select = args.select.split(",") if args.select else None
+    engine = LintEngine(select=[s.strip() for s in select] if select else None)
+    findings = engine.lint_paths(args.paths)
+    if args.write_baseline:
+        if not args.baseline:
+            raise MagicError("--write-baseline requires --baseline PATH")
+        write_baseline(args.baseline, findings)
+        print(f"baseline with {len(findings)} finding(s) written to "
+              f"{args.baseline}")
+        return 0
+    if args.baseline and os.path.exists(args.baseline):
+        findings = apply_baseline(findings, load_baseline(args.baseline))
+    if args.format == "json":
+        print(json.dumps(findings_to_json(findings), indent=2))
+    elif findings:
+        print(format_findings(findings))
+    else:
+        print("clean: no findings")
+    return 1 if findings else 0
+
+
 def cmd_predict(args: argparse.Namespace) -> int:
     """Classify listings in one batched forward pass.
 
@@ -420,6 +470,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip folds already recorded in --journal")
     p_sweep.add_argument("--output", help="write the ranking as JSON")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="project-invariant static analysis (repro.analysis)",
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories to check")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--select",
+                        help="comma-separated rule ids to run "
+                             "(default: all registered rules)")
+    p_lint.add_argument("--baseline",
+                        help="JSON baseline of accepted findings; existing "
+                             "entries are filtered from the report")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="record the current findings into --baseline "
+                             "and exit 0 (incremental adoption)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_predict = sub.add_parser("predict", help="classify listings")
     p_predict.add_argument("--model-dir", required=True)

@@ -90,7 +90,7 @@ def save_dataset(dataset: MalwareDataset, directory: str) -> None:
             shutil.rmtree(retired, ignore_errors=True)
         else:
             os.rename(staging, target)
-    except BaseException:
+    except BaseException:  # repro: allow[broad-except] — staging cleanup, re-raised
         shutil.rmtree(staging, ignore_errors=True)
         raise
 

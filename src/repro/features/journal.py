@@ -17,9 +17,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.fileio import JsonlAppendWriter
 
 #: Journal schema version; bumped on incompatible format changes.
 JOURNAL_VERSION = 1
@@ -49,14 +50,14 @@ class ExtractionJournal:
     itself.
     """
 
-    def __init__(self, path: str, fingerprint: Dict) -> None:
+    def __init__(self, path: str, fingerprint: Dict[str, Any]) -> None:
         self.path = path
         self.fingerprint = dict(fingerprint, version=JOURNAL_VERSION)
-        self._handle = None
+        self._writer: Optional[JsonlAppendWriter] = None
 
     # -- reading ------------------------------------------------------
 
-    def load_completed(self) -> Dict[int, Dict]:
+    def load_completed(self) -> Dict[int, Dict[str, Any]]:
         """Finished samples from a previous run, keyed by input index.
 
         Each value is the raw journal record (``kind`` is ``"sample"``
@@ -92,7 +93,7 @@ class ExtractionJournal:
                 f"{recorded}, but this run is {self.fingerprint}; refusing "
                 "to resume across different inputs or settings"
             )
-        completed: Dict[int, Dict] = {}
+        completed: Dict[int, Dict[str, Any]] = {}
         for line in lines[1:]:
             if not line.strip():
                 continue
@@ -110,14 +111,13 @@ class ExtractionJournal:
     # -- writing ------------------------------------------------------
 
     def open_for_append(self, fresh: bool) -> None:
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        mode = "w" if fresh or not os.path.exists(self.path) else "a"
-        self._handle = open(self.path, mode, encoding="utf-8")
-        if mode == "w":
+        self._writer = JsonlAppendWriter.open(self.path, fresh=fresh)
+        if self._writer.created:
             self._write_line(dict({"kind": "header"}, **self.fingerprint))
 
-    def record_sample(self, index: int, name: str, payload: Dict) -> None:
+    def record_sample(
+        self, index: int, name: str, payload: Dict[str, Any]
+    ) -> None:
         self._write_line(
             {"kind": "sample", "index": index, "name": name,
              "payload": payload}
@@ -130,21 +130,19 @@ class ExtractionJournal:
              "failure_kind": kind, "detail": detail}
         )
 
-    def _write_line(self, record: Dict) -> None:
-        if self._handle is None:
-            return
-        self._handle.write(json.dumps(record) + "\n")
-        self._handle.flush()  # survive a SIGKILL between samples
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        if self._writer is not None:
+            self._writer.write_record(record)
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
 
 
 def open_journal(
-    path: Optional[str], fingerprint: Dict, resume: bool
-) -> Tuple[Optional[ExtractionJournal], Dict[int, Dict]]:
+    path: Optional[str], fingerprint: Dict[str, Any], resume: bool
+) -> Tuple[Optional[ExtractionJournal], Dict[int, Dict[str, Any]]]:
     """Standard open-or-resume dance shared by the pipeline entry points."""
     if path is None:
         return None, {}

@@ -185,7 +185,7 @@ def _worker_cfg_json(item: Tuple, ctx: WorkerContext) -> Dict:
     _guard_size(name, cfg.num_vertices, ctx)
     staging = destination + ".tmp"
     save_cfg(cfg, staging)
-    os.replace(staging, destination)
+    os.replace(staging, destination)  # repro: allow[atomic-write] — worker-owned temp-file swap
     return {
         "destination": destination,
         "num_vertices": cfg.num_vertices,
@@ -285,7 +285,7 @@ def execute_unit(
         # Expected, domain-level failures (packed samples, unparseable
         # listings) keep their message for the report.
         return ("fail", FailureKind.PARSE.value, str(exc))
-    except Exception as exc:  # noqa: BLE001 — fault isolation boundary
+    except Exception as exc:  # repro: allow[broad-except] — fault isolation boundary
         return (
             "fail",
             FailureKind.UNEXPECTED.value,
@@ -431,7 +431,7 @@ class AcfgPipeline:
             if record["kind"] == "sample":
                 try:
                     results[index] = spec.decode(record["payload"])
-                except Exception as exc:  # noqa: BLE001 — corrupt journal
+                except Exception as exc:  # repro: allow[broad-except] — corrupt journal
                     raise ConfigurationError(
                         f"journal entry for sample {index} "
                         f"({record.get('name', '?')}) is corrupt: {exc}"
@@ -547,7 +547,7 @@ class AcfgPipeline:
         )
         try:
             spec.quarantine(item, destination_base)
-        except Exception:  # noqa: BLE001 — quarantine is best-effort
+        except Exception:  # repro: allow[broad-except] — quarantine is best-effort
             pass
 
     @staticmethod

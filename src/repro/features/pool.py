@@ -58,7 +58,7 @@ def _worker_main(conn, worker_name: str, worker_ctx) -> None:
         outcome = pipeline.execute_unit(worker_fn, item, index, worker_ctx)
         try:
             conn.send((index,) + outcome)
-        except Exception as exc:  # unpicklable result — report, don't die
+        except Exception as exc:  # repro: allow[broad-except] — unpicklable result; report, don't die
             conn.send(
                 (index, "fail", "unexpected",
                  f"worker result not transferable: {type(exc).__name__}: {exc}")

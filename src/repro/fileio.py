@@ -1,0 +1,62 @@
+"""Crash-safe file primitives shared by the JSONL checkpoint journals.
+
+The extraction journal (:mod:`repro.features.journal`) and the sweep
+journal (:mod:`repro.train.sweep`) both need the same thing: a
+long-lived append handle whose every record survives a SIGKILL
+immediately after the write.  Both used to manage a raw ``open()``
+handle by hand; :class:`JsonlAppendWriter` is the single sanctioned
+owner of that pattern — it creates the parent directory, truncates or
+appends as asked, and flushes after every record so the only losable
+data is the torn final line the journal loaders already tolerate.
+
+The raw ``open`` below carries the one ``atomic-write`` pragma in the
+library: every other write goes through a context manager or the
+staged-swap helpers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional, TextIO
+
+
+class JsonlAppendWriter:
+    """Append-only JSON-lines handle that flushes after every record."""
+
+    def __init__(self, path: str, handle: TextIO, created: bool) -> None:
+        self.path = path
+        self.created = created
+        self._handle: Optional[TextIO] = handle
+
+    @classmethod
+    def open(cls, path: str, fresh: bool) -> "JsonlAppendWriter":
+        """Open ``path`` for appending, truncating when ``fresh``.
+
+        ``created`` on the returned writer tells the caller whether the
+        file was (re)started — i.e. whether a header line is needed.  A
+        missing file counts as fresh regardless of ``fresh``.
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        mode = "w" if fresh or not os.path.exists(path) else "a"
+        handle = open(  # repro: allow[atomic-write] — the crash-safe append handle
+            path, mode, encoding="utf-8"
+        )
+        return cls(path, handle, created=(mode == "w"))
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        """Append one JSON record; a no-op once closed."""
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()  # survive a SIGKILL between records
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

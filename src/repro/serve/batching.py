@@ -139,7 +139,7 @@ class MicroBatcher:
                 results = self.engine.classify_texts(
                     [(request.name, request.text) for request in batch]
                 )
-            except Exception as exc:  # noqa: BLE001 — keep the loop alive
+            except Exception as exc:  # repro: allow[broad-except] — keep the batch loop alive
                 # An engine bug must not strand the waiting requests (or
                 # kill the worker): every request in the batch gets a
                 # structured unexpected-failure result.

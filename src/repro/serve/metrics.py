@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter, deque
-from typing import Deque, Dict, Optional
+from typing import Any, Deque, Dict, Optional
 
 import numpy as np
 
@@ -41,12 +41,12 @@ class ServeMetrics:
         self._latency_window = latency_window
         self._requests_ok = 0
         self._requests_failed = 0
-        self._failures_by_kind: Counter = Counter()
+        self._failures_by_kind: Counter[str] = Counter()
         self._cache_hits = 0
         self._cache_misses = 0
-        self._batch_sizes: Counter = Counter()
+        self._batch_sizes: Counter[int] = Counter()
         self._stage_seconds: Dict[str, Deque[float]] = {}
-        self._stage_counts: Counter = Counter()
+        self._stage_counts: Counter[str] = Counter()
 
     # -- recording ----------------------------------------------------
 
@@ -84,7 +84,7 @@ class ServeMetrics:
 
     # -- reading ------------------------------------------------------
 
-    def snapshot(self) -> Dict:
+    def snapshot(self) -> Dict[str, Any]:
         """A JSON-ready view of everything observed so far."""
         with self._lock:
             total = self._requests_ok + self._requests_failed
@@ -130,9 +130,9 @@ class ServeMetrics:
             }
 
     @staticmethod
-    def _percentiles_ms(ring: Deque[float], count: int) -> Dict:
+    def _percentiles_ms(ring: Deque[float], count: int) -> Dict[str, Any]:
         values = np.asarray(ring, dtype=np.float64) * 1000.0
-        stats = {"count": count}
+        stats: Dict[str, Any] = {"count": count}
         for percentile in PERCENTILES:
             stats[f"p{percentile}"] = round(
                 float(np.percentile(values, percentile)), 3

@@ -160,7 +160,7 @@ def publish(
                   encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2)
         os.rename(staging, target)
-    except BaseException:
+    except BaseException:  # repro: allow[broad-except] — staging cleanup, re-raised
         shutil.rmtree(staging, ignore_errors=True)
         raise
     return ArchiveInfo(name=name, version=version, path=target)

@@ -33,6 +33,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.datasets.loader import MalwareDataset
 from repro.exceptions import ConfigurationError, TrainingDivergedError
+from repro.fileio import JsonlAppendWriter
 from repro.train.cross_validation import (
     FoldResult,
     FoldSpec,
@@ -108,7 +109,7 @@ class SweepJournal:
     def __init__(self, path: str, fingerprint: Dict) -> None:
         self.path = path
         self.fingerprint = dict(fingerprint, version=JOURNAL_VERSION)
-        self._handle = None
+        self._writer: Optional[JsonlAppendWriter] = None
 
     # -- reading ------------------------------------------------------
 
@@ -159,11 +160,8 @@ class SweepJournal:
     # -- writing ------------------------------------------------------
 
     def open_for_append(self, fresh: bool) -> None:
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        mode = "w" if fresh or not os.path.exists(self.path) else "a"
-        self._handle = open(self.path, mode, encoding="utf-8")
-        if mode == "w":
+        self._writer = JsonlAppendWriter.open(self.path, fresh=fresh)
+        if self._writer.created:
             self._write_line(dict({"kind": "header"}, **self.fingerprint))
 
     def record_fold(self, key: str, result: FoldResult) -> None:
@@ -190,15 +188,13 @@ class SweepJournal:
         )
 
     def _write_line(self, record: Dict) -> None:
-        if self._handle is None:
-            return
-        self._handle.write(json.dumps(record) + "\n")
-        self._handle.flush()  # survive a kill between folds
+        if self._writer is not None:
+            self._writer.write_record(record)
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
 
 
 # ----------------------------------------------------------------------
@@ -239,7 +235,7 @@ def _run_fold_task(
             f"{type(exc).__name__}: {exc}",
             False,
         )
-    except Exception as exc:  # noqa: BLE001 — fault isolation boundary
+    except Exception as exc:  # repro: allow[broad-except] — fault isolation boundary
         return (
             setting_index,
             key,
@@ -474,7 +470,7 @@ def _run_fold_task_local(
             f"{type(exc).__name__}: {exc}",
             False,
         )
-    except Exception as exc:  # noqa: BLE001 — same fault boundary as the pool
+    except Exception as exc:  # repro: allow[broad-except] — same fault boundary as the pool
         return (
             setting_index,
             key,

@@ -1,0 +1,11 @@
+"""Violates ``atomic-write``: raw write handle and ad-hoc rename-into-place."""
+
+import json
+import os
+
+
+def publish(payload, destination):
+    handle = open(destination + ".tmp", "w", encoding="utf-8")
+    json.dump(payload, handle)
+    handle.close()
+    os.rename(destination + ".tmp", destination)

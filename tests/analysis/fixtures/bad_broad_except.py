@@ -1,0 +1,15 @@
+"""Violates ``broad-except``: unstructured failure handling."""
+
+
+def risky(payload):
+    try:
+        return payload["value"]
+    except Exception as exc:
+        raise Exception(f"lookup failed: {exc}")
+
+
+def swallow(payload):
+    try:
+        return payload["value"]
+    except:
+        return None

@@ -1,0 +1,14 @@
+"""Violates ``determinism``: global-RNG draws and wall-clock reads."""
+
+import random
+import time
+
+import numpy as np
+
+
+def sample_weights(n):
+    jitter = random.random()
+    weights = np.random.rand(n)
+    np.random.seed(0)
+    stamp = time.time()
+    return weights, jitter, stamp

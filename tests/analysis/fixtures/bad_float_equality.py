@@ -1,0 +1,7 @@
+"""Violates ``float-equality``: tolerance checks written as ``==``."""
+
+
+def test_scores(scores):
+    assert scores.accuracy == 0.95
+    assert scores.loss != 0.0
+    assert float(scores.f1) == scores.precision

@@ -1,0 +1,16 @@
+"""Violates ``lock-discipline``: a guarded counter mutated lock-free."""
+
+import threading
+
+
+class Metrics:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._served = 0
+
+    def observe(self):
+        with self._lock:
+            self._served += 1
+
+    def reset(self):
+        self._served = 0

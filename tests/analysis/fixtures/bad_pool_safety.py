@@ -1,0 +1,15 @@
+"""Violates ``pool-safety``: unpicklable callables cross process pools."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Process
+
+
+def run(items):
+    def work(item):
+        return item * 2
+
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(work, item) for item in items]
+    worker = Process(target=lambda: None)
+    broken = ProcessPoolExecutor(initializer=lambda: None)
+    return futures, worker, broken

@@ -1,0 +1,20 @@
+"""Clean for ``atomic-write``: context-managed writes; long-lived append
+handles go through the crash-safe helper."""
+
+import json
+
+from repro.fileio import JsonlAppendWriter
+
+
+def publish(payload, destination):
+    with open(destination, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def journal(path, records):
+    writer = JsonlAppendWriter.open(path, fresh=True)
+    try:
+        for record in records:
+            writer.write_record(record)
+    finally:
+        writer.close()

@@ -1,0 +1,20 @@
+"""Clean for ``broad-except``: MagicError taxonomy plus one pragma'd
+fault-isolation boundary."""
+
+from repro.exceptions import ConfigurationError, MagicError
+
+
+def risky(payload):
+    try:
+        return payload["value"]
+    except KeyError as exc:
+        raise ConfigurationError(f"missing value: {exc}")
+
+
+def boundary(fn):
+    try:
+        return ("ok", fn())
+    except MagicError as exc:
+        return ("fail", str(exc))
+    except Exception as exc:  # repro: allow[broad-except] — fault isolation boundary
+        return ("fail", f"{type(exc).__name__}: {exc}")

@@ -1,0 +1,12 @@
+"""Clean for ``determinism``: seeded generators, monotonic clocks."""
+
+import time
+
+import numpy as np
+
+
+def sample_weights(n, seed):
+    rng = np.random.default_rng(seed)
+    children = np.random.SeedSequence(seed).spawn(2)
+    started = time.perf_counter()
+    return rng.normal(size=n), children, time.perf_counter() - started

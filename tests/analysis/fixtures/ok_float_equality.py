@@ -1,0 +1,9 @@
+"""Clean for ``float-equality``: approx for tolerances, pragma for a
+deliberate bit-exactness assertion."""
+
+import pytest
+
+
+def test_scores(scores):
+    assert scores.accuracy == pytest.approx(0.95, abs=1e-6)
+    assert scores.loss == 0.0  # repro: allow[float-equality] — resumed run is bit-for-bit

@@ -1,0 +1,24 @@
+"""Clean for ``lock-discipline``: every mutation of a guarded attribute
+holds the lock; unguarded single-thread state stays out of scope."""
+
+import threading
+
+
+class Metrics:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._served = 0
+        self._label = "idle"
+
+    def observe(self):
+        with self._lock:
+            self._served += 1
+
+    def reset(self):
+        with self._lock:
+            self._served = 0
+
+    def rename(self, label):
+        # `_label` is never mutated under the lock anywhere in the
+        # class, so it is not a guarded attribute.
+        self._label = label

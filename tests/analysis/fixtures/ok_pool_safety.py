@@ -1,0 +1,17 @@
+"""Clean for ``pool-safety``: module-level functions cross the boundary,
+and thread pools (which never pickle) may still take lambdas."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import Process
+
+
+def work(item):
+    return item * 2
+
+
+def run(items):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(work, item) for item in items]
+    with ThreadPoolExecutor(max_workers=2) as tpool:
+        threaded = [tpool.submit(lambda: None) for _ in items]
+    return futures, threaded, Process(target=work)

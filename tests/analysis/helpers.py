@@ -1,0 +1,33 @@
+"""Shared helpers for the ``repro.analysis`` test suite.
+
+Fixture sources live under ``tests/analysis/fixtures/`` — a directory
+the engine's discovery deliberately skips — and are linted here as raw
+text presented under *virtual* paths, so each fixture can be scoped as
+library or test code independent of where it physically sits.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis import Finding, LintEngine
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+#: Virtual locations used to scope fixture sources.
+LIBRARY_PATH = "src/repro/fixture_module.py"
+TEST_PATH = "tests/test_fixture_module.py"
+
+
+def fixture_text(name: str) -> str:
+    return (FIXTURES / name).read_text(encoding="utf-8")
+
+
+def lint_fixture(
+    name: str,
+    virtual_path: str = LIBRARY_PATH,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint a fixture file's text as though it lived at ``virtual_path``."""
+    return LintEngine(select=select).lint_source(fixture_text(name), virtual_path)

@@ -1,0 +1,146 @@
+"""Engine mechanics: registry, pragmas, discovery, baselines, formatting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintEngine,
+    apply_baseline,
+    findings_to_json,
+    load_baseline,
+    pragma_rules_by_line,
+    registered_rules,
+    write_baseline,
+)
+from repro.exceptions import ConfigurationError
+
+from tests.analysis.helpers import FIXTURES, LIBRARY_PATH, lint_fixture
+
+EXPECTED_RULES = {
+    "atomic-write",
+    "broad-except",
+    "determinism",
+    "float-equality",
+    "lock-discipline",
+    "pool-safety",
+}
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        assert set(registered_rules()) == EXPECTED_RULES
+
+    def test_unknown_select_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="no-such-rule"):
+            LintEngine(select=["no-such-rule"])
+
+    def test_select_narrows_the_rule_set(self):
+        findings = lint_fixture("bad_determinism.py", select=["atomic-write"])
+        assert findings == []
+
+
+class TestPragmas:
+    def test_single_rule(self):
+        mapping = pragma_rules_by_line("x = 1  # repro: allow[determinism]\n")
+        assert mapping[1] == frozenset({"determinism"})
+
+    def test_comma_list_and_free_form_reason(self):
+        text = (
+            "y = 2  "
+            "# repro: allow[determinism, float-equality] — seeded upstream\n"
+        )
+        mapping = pragma_rules_by_line(text)
+        assert mapping[1] == frozenset({"determinism", "float-equality"})
+
+    def test_pragma_suppresses_only_its_line(self):
+        source = (
+            "import time\n"
+            "a = time.time()  # repro: allow[determinism]\n"
+            "b = time.time()\n"
+        )
+        findings = LintEngine(select=["determinism"]).lint_source(
+            source, LIBRARY_PATH
+        )
+        assert [finding.line for finding in findings] == [3]
+
+    def test_pragma_for_another_rule_does_not_suppress(self):
+        source = "import time\nstamp = time.time()  # repro: allow[atomic-write]\n"
+        findings = LintEngine(select=["determinism"]).lint_source(
+            source, LIBRARY_PATH
+        )
+        assert len(findings) == 1
+
+
+class TestDiscovery:
+    def test_directory_walk_skips_fixture_and_cache_dirs(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        (pkg / "fixtures").mkdir(parents=True)
+        (pkg / "__pycache__").mkdir()
+        (pkg / "a.py").write_text("A = 1\n", encoding="utf-8")
+        (pkg / "fixtures" / "fx.py").write_text("B = 2\n", encoding="utf-8")
+        (pkg / "__pycache__" / "c.py").write_text("C = 3\n", encoding="utf-8")
+        (pkg / "notes.txt").write_text("not python\n", encoding="utf-8")
+        assert LintEngine.discover([str(pkg)]) == [str(pkg / "a.py")]
+
+    def test_explicitly_named_files_are_always_included(self):
+        target = FIXTURES / "bad_determinism.py"
+        assert LintEngine.discover([str(target)]) == [str(target)]
+
+    def test_missing_target_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            LintEngine.discover(["/no/such/path.py"])
+
+    def test_syntax_error_becomes_its_own_rule_id(self):
+        findings = LintEngine().lint_source("def broken(:\n", LIBRARY_PATH)
+        assert [finding.rule for finding in findings] == ["syntax-error"]
+
+
+def _finding(message: str = "msg", line: int = 3) -> Finding:
+    return Finding(
+        path="src/repro/x.py", line=line, col=1, rule="determinism", message=message
+    )
+
+
+class TestBaseline:
+    def test_round_trip_is_line_insensitive(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [_finding(line=3)])
+        accepted = load_baseline(path)
+        drifted = [_finding(line=40)]
+        assert apply_baseline(drifted, accepted) == []
+
+    def test_matching_is_count_aware(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [_finding(line=3)])
+        accepted = load_baseline(path)
+        pair = [_finding(line=3), _finding(line=9)]
+        assert len(apply_baseline(pair, accepted)) == 1
+
+    def test_unreadable_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_baseline(str(bad))
+
+    def test_wrong_version_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(
+            json.dumps({"version": 99, "findings": []}), encoding="utf-8"
+        )
+        with pytest.raises(ConfigurationError, match="unsupported"):
+            load_baseline(str(bad))
+
+
+class TestFormatting:
+    def test_finding_format(self):
+        assert _finding().format() == "src/repro/x.py:3:1: [determinism] msg"
+
+    def test_json_payload_shape(self):
+        payload = findings_to_json([_finding()])
+        assert payload["counts"] == {"determinism": 1}
+        assert payload["findings"][0]["line"] == 3
+        assert payload["findings"][0]["rule"] == "determinism"

@@ -1,0 +1,149 @@
+"""The shipped tree is lint-clean, and the CLI gate behaves end-to-end."""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintEngine
+from repro.cli import main
+
+from tests.analysis.helpers import FIXTURES, fixture_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+ALL_RULE_IDS = (
+    "atomic-write",
+    "broad-except",
+    "determinism",
+    "float-equality",
+    "lock-discipline",
+    "pool-safety",
+)
+
+
+class TestShippedTree:
+    def test_library_is_lint_clean(self):
+        assert LintEngine().lint_paths([str(REPO_ROOT / "src" / "repro")]) == []
+
+    def test_test_suite_is_lint_clean(self):
+        assert LintEngine().lint_paths([str(REPO_ROOT / "tests")]) == []
+
+
+class TestCliGate:
+    def test_clean_tree_exits_zero(self, capsys):
+        rc = main(["lint", str(REPO_ROOT / "src" / "repro")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "clean" in out
+
+    def test_list_rules_names_every_rule(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for rule_id in ALL_RULE_IDS:
+            assert rule_id in out
+
+    def test_lint_requires_paths(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_unknown_rule_is_a_usage_error(self, capsys):
+        rc = main(
+            ["lint", "--select", "no-such-rule", str(REPO_ROOT / "src" / "repro")]
+        )
+        assert rc == 2
+
+
+LIBRARY_FIXTURES = [
+    ("bad_determinism.py", "determinism"),
+    ("bad_pool_safety.py", "pool-safety"),
+    ("bad_broad_except.py", "broad-except"),
+    ("bad_atomic_write.py", "atomic-write"),
+    ("bad_lock_discipline.py", "lock-discipline"),
+]
+
+
+class TestPerRuleExitCodes:
+    @pytest.mark.parametrize("fixture, rule_id", LIBRARY_FIXTURES)
+    def test_library_fixture_fails_with_its_rule_id(
+        self, tmp_path, capsys, fixture, rule_id
+    ):
+        target = tmp_path / "library" / fixture
+        target.parent.mkdir()
+        shutil.copyfile(FIXTURES / fixture, target)
+        rc = main(["lint", "--format", "json", str(target)])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert set(payload["counts"]) == {rule_id}
+
+    def test_float_equality_fixture_fails_under_tests(self, tmp_path, capsys):
+        target = tmp_path / "tests" / "test_scores.py"
+        target.parent.mkdir()
+        shutil.copyfile(FIXTURES / "bad_float_equality.py", target)
+        rc = main(["lint", "--format", "json", str(target)])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert set(payload["counts"]) == {"float-equality"}
+
+    def test_ok_fixtures_exit_zero(self, tmp_path, capsys):
+        library = tmp_path / "library"
+        library.mkdir()
+        for fixture in (
+            "ok_determinism.py",
+            "ok_pool_safety.py",
+            "ok_broad_except.py",
+            "ok_atomic_write.py",
+            "ok_lock_discipline.py",
+        ):
+            shutil.copyfile(FIXTURES / fixture, library / fixture)
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        shutil.copyfile(
+            FIXTURES / "ok_float_equality.py", tests_dir / "test_scores.py"
+        )
+        rc = main(["lint", str(library), str(tests_dir)])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestBaselineWorkflow:
+    def test_write_then_gate_then_catch_fresh_debt(self, tmp_path, capsys):
+        target = tmp_path / "library" / "legacy.py"
+        target.parent.mkdir()
+        target.write_text(fixture_text("bad_atomic_write.py"), encoding="utf-8")
+        baseline = tmp_path / "lint-baseline.json"
+
+        rc = main(
+            ["lint", "--baseline", str(baseline), "--write-baseline", str(target)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+
+        rc = main(["lint", "--baseline", str(baseline), str(target)])
+        assert rc == 0
+        capsys.readouterr()
+
+        fresh = target.parent / "fresh.py"
+        fresh.write_text(fixture_text("bad_lock_discipline.py"), encoding="utf-8")
+        rc = main(
+            [
+                "lint",
+                "--format",
+                "json",
+                "--baseline",
+                str(baseline),
+                str(target),
+                str(fresh),
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert set(payload["counts"]) == {"lock-discipline"}
+
+    def test_write_baseline_requires_baseline_path(self, tmp_path, capsys):
+        target = tmp_path / "module.py"
+        target.write_text("X = 1\n", encoding="utf-8")
+        assert main(["lint", "--write-baseline", str(target)]) == 2

@@ -1,0 +1,27 @@
+"""Gate: mypy strict over the typed core subset.
+
+Skipped when mypy is not installed (the CI lint-gate job installs it);
+the checked file set lives in ``[tool.mypy]`` in pyproject.toml.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_mypy_strict_core_subset():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -128,7 +128,8 @@ class TestIntegrityVerification:
         del manifest["format_version"]
         for record in manifest["samples"]:
             del record["sha256"]
-        json.dump(manifest, open(manifest_path, "w"))
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
         with pytest.warns(UserWarning, match="legacy"):
             restored = load_dataset(directory)
         assert len(restored) == 3
@@ -139,7 +140,8 @@ class TestIntegrityVerification:
         manifest_path = os.path.join(directory, "manifest.json")
         manifest = json.load(open(manifest_path))
         manifest["format_version"] = 99
-        json.dump(manifest, open(manifest_path, "w"))
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
         with pytest.raises(DatasetError, match="format_version"):
             load_dataset(directory)
 
@@ -149,7 +151,8 @@ class TestLabelValidation:
         manifest_path = os.path.join(directory, "manifest.json")
         manifest = json.load(open(manifest_path))
         manifest["samples"][0]["label"] = value
-        json.dump(manifest, open(manifest_path, "w"))
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
         return manifest["samples"][0]["name"]
 
     def test_out_of_range_label_rejected(self, tiny_mskcfg, tmp_path):

@@ -48,7 +48,7 @@ class TestExtendedValues:
         column = names.index("in_degree")
         # Block at 0x401015 has two predecessors (b1 and b3).
         row = [b.start_address for b in cfg.blocks()].index(0x401015)
-        assert acfg.attributes[row, column] == 2.0
+        assert acfg.attributes[row, column] == 2.0  # repro: allow[float-equality] — exact by construction
 
     def test_mnemonic_entropy_bounds(self, extended):
         cfg = build_cfg_from_text(SAMPLE_ASM)
@@ -75,8 +75,8 @@ class TestExtendedValues:
         unique_col = names.index("unique_mnemonics")
         operand_col = names.index("operand_count")
         entry_row = 0  # push/mov/cmp/jz: 4 unique, 1+2+2+1 = 6 operands
-        assert acfg.attributes[entry_row, unique_col] == 4.0
-        assert acfg.attributes[entry_row, operand_col] == 6.0
+        assert acfg.attributes[entry_row, unique_col] == 4.0  # repro: allow[float-equality] — exact by construction
+        assert acfg.attributes[entry_row, operand_col] == 6.0  # repro: allow[float-equality] — exact by construction
 
 
 class TestInDegree:

@@ -125,7 +125,8 @@ class TestHeaderValidation:
 
     def test_empty_file_is_empty(self, tmp_path):
         journal = make_journal(tmp_path)
-        open(journal.path, "w").close()
+        with open(journal.path, "w", encoding="utf-8"):
+            pass  # truncate
         assert journal.load_completed() == {}
 
 

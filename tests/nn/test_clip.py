@@ -41,7 +41,7 @@ class TestClipGradNorm:
 
     def test_none_grads_skipped(self):
         p = Parameter(np.zeros(3))
-        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0  # repro: allow[float-equality] — exact by construction
 
     def test_invalid_max_norm(self):
         with pytest.raises(ConfigurationError):

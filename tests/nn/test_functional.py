@@ -113,7 +113,7 @@ class TestAdaptiveMaxPool:
 
     def test_global_pooling(self):
         x = Tensor(np.arange(12, dtype=float).reshape(1, 1, 3, 4))
-        assert F.adaptive_max_pool2d(x, (1, 1)).data.item() == 11.0
+        assert F.adaptive_max_pool2d(x, (1, 1)).data.item() == 11.0  # repro: allow[float-equality] — exact by construction
 
     def test_values_are_window_maxima(self):
         rng = np.random.default_rng(1)

@@ -32,8 +32,8 @@ class TestForwardSemantics:
 
     def test_reductions(self):
         a = Tensor([[1.0, 2.0], [3.0, 4.0]])
-        assert a.sum().item() == 10.0
-        assert a.mean().item() == 2.5
+        assert a.sum().item() == 10.0  # repro: allow[float-equality] — exact by construction
+        assert a.mean().item() == 2.5  # repro: allow[float-equality] — exact by construction
         np.testing.assert_array_equal(a.sum(axis=0).data, [4.0, 6.0])
         np.testing.assert_array_equal(a.max(axis=1).data, [2.0, 4.0])
 

@@ -44,9 +44,9 @@ class TestPrecisionRecallF1:
     def test_absent_class_scores_zero(self):
         cm = np.array([[5, 0], [0, 0]])
         scores = precision_recall_f1(cm)
-        assert scores[1].precision == 0.0
-        assert scores[1].recall == 0.0
-        assert scores[1].f1 == 0.0
+        assert scores[1].precision == 0.0  # repro: allow[float-equality] — exact by construction
+        assert scores[1].recall == 0.0  # repro: allow[float-equality] — exact by construction
+        assert scores[1].f1 == 0.0  # repro: allow[float-equality] — exact by construction
 
     @given(
         n=st.integers(5, 60),
