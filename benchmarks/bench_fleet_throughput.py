@@ -1,0 +1,201 @@
+"""Serving fleet: multi-process throughput vs the single-process service.
+
+Engineering benchmark behind the fleet dispatcher (``repro.serve.fleet``).
+A single-process service is bounded by one interpreter no matter how
+well it batches; the fleet fans concurrent requests over N long-lived
+model-replica workers (least-loaded routing, per-worker batching).  This
+bench pushes one corpus through three paths —
+
+1. **direct** — ``InferenceEngine.classify_text`` in-process, no service
+   machinery at all (the floor any service overhead is measured against);
+2. **single** — the ``--workers 0`` service: one engine behind one
+   coalescing ``MicroBatcher``, driven at the same concurrency;
+3. **fleet**  — a ``FleetDispatcher`` over N worker processes, same
+   concurrency, same corpus;
+
+— *verifies all three produce identical labels*, and persists the
+measurement to ``output/BENCH_fleet.json``.
+
+The fleet's win is real parallelism across cores, so it only shows on a
+multi-core machine; the artifact records ``cpu_count`` and the honest
+``fleet_faster`` verdict for the machine that ran it.  On a single core
+the IPC tax makes the fleet *slower* — recorded just as honestly.
+
+Run standalone::
+
+    PYTHONPATH=src:. python benchmarks/bench_fleet_throughput.py \
+        --corpus 48 --workers 2 --concurrency 8
+
+or via pytest (reduced scale): ``pytest benchmarks/bench_fleet_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import threading
+import time
+from typing import List, Tuple
+
+from repro.serve import FleetDispatcher, MicroBatcher
+
+from benchmarks.bench_common import save_result
+from benchmarks.bench_serve_throughput import _smoke_corpus, _train_engine_pair
+
+
+def _drain_concurrently(submit, samples: List[Tuple[str, str]],
+                        concurrency: int) -> List:
+    """``concurrency`` threads drain a shared work list through ``submit``."""
+    results = [None] * len(samples)
+    cursor = {"next": 0}
+    lock = threading.Lock()
+
+    def worker():
+        while True:
+            with lock:
+                index = cursor["next"]
+                if index >= len(samples):
+                    return
+                cursor["next"] = index + 1
+            name, text = samples[index]
+            results[index] = submit(text, name=name, timeout=120.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+def run_bench(
+    corpus: int = 48,
+    workers: int = 2,
+    concurrency: int = 8,
+    max_batch_size: int = 8,
+    repeats: int = 3,
+    seed: int = 3,
+) -> dict:
+    samples = _smoke_corpus(corpus, seed + 1)
+
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp_root:
+        direct_engine, service_engine = _train_engine_pair(tmp_root, seed)
+
+        # Floor: the engine alone, no service machinery.
+        direct = [
+            direct_engine.classify_text(text, name=name)
+            for name, text in samples
+        ]
+
+        # Single-process service at its best: coalescing enabled, same
+        # offered concurrency as the fleet.  Best of ``repeats`` runs.
+        single_seconds = float("inf")
+        with MicroBatcher(service_engine, max_batch_size=max_batch_size,
+                          max_wait_ms=20.0) as batcher:
+            for _ in range(repeats):
+                started = time.perf_counter()
+                single = _drain_concurrently(
+                    batcher.submit, samples, concurrency
+                )
+                single_seconds = min(
+                    single_seconds, time.perf_counter() - started
+                )
+
+        # The fleet: worker start-up (model loads) happens before the
+        # clock starts — steady-state throughput is the claim.
+        fleet_seconds = float("inf")
+        dispatcher = FleetDispatcher(
+            tmp_root, "bench", num_workers=workers,
+            max_batch_size=max_batch_size, cache_size=0,
+        )
+        with dispatcher:
+            for _ in range(repeats):
+                started = time.perf_counter()
+                fleet = _drain_concurrently(
+                    dispatcher.submit, samples, concurrency
+                )
+                fleet_seconds = min(
+                    fleet_seconds, time.perf_counter() - started
+                )
+            worker_stats = dispatcher.fleet_snapshot()["workers"]
+
+    # Equivalence before timing claims: identical labels on all three
+    # paths (the fleet replicas load the same archive the in-process
+    # engines do, and a label is an argmax — nothing to round).
+    assert all(r is not None and r.ok for r in direct)
+    assert all(r is not None and r.ok for r in single)
+    assert all(r is not None and r.ok for r in fleet)
+    labels = [r.label for r in direct]
+    assert [r.label for r in single] == labels
+    assert [r.label for r in fleet] == labels
+    assert [r.family for r in fleet] == [r.family for r in direct]
+
+    payload = {
+        "corpus_size": len(samples),
+        "workers": workers,
+        "concurrency": concurrency,
+        "max_batch_size": max_batch_size,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "single_seconds": round(single_seconds, 3),
+        "fleet_seconds": round(fleet_seconds, 3),
+        "single_rps": round(len(samples) / single_seconds, 2),
+        "fleet_rps": round(len(samples) / fleet_seconds, 2),
+        "speedup": round(single_seconds / fleet_seconds, 3),
+        "fleet_faster": fleet_seconds < single_seconds,
+        "labels_equal": True,
+        "per_worker_served": [w["served"] for w in worker_stats],
+    }
+    path = save_result("BENCH_fleet", payload)
+    print(f"single-process {single_seconds:7.2f}s "
+          f"({payload['single_rps']} req/s)")
+    print(f"fleet ({workers} workers) {fleet_seconds:7.2f}s "
+          f"({payload['fleet_rps']} req/s, concurrency={concurrency})")
+    print(f"speedup {payload['speedup']}x on {payload['cpu_count']} cores "
+          f"— labels identical; per-worker served "
+          f"{payload['per_worker_served']}")
+    print(f"written to {path}")
+    return payload
+
+
+def test_fleet_matches_single_process_labels():
+    """CI smoke: fleet serving is label-equivalent; timings recorded.
+
+    The throughput claim is only asserted on a multi-core machine — on
+    one core the fleet pays the IPC tax with nothing to parallelize
+    over, and pretending otherwise would bake a flake into CI.
+    """
+    payload = run_bench(corpus=24, workers=2, concurrency=6,
+                        max_batch_size=6, repeats=2)
+    assert payload["labels_equal"]
+    assert sum(payload["per_worker_served"]) >= payload["corpus_size"]
+    cpus = os.cpu_count() or 1
+    if cpus >= 2:
+        assert payload["fleet_faster"], (
+            f"fleet slower than single-process on {cpus} cores: "
+            f"{payload['fleet_seconds']}s vs {payload['single_seconds']}s"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--corpus", type=int, default=48)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--max-batch-size", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+    run_bench(
+        corpus=args.corpus,
+        workers=args.workers,
+        concurrency=args.concurrency,
+        max_batch_size=args.max_batch_size,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+
+
+if __name__ == "__main__":
+    main()

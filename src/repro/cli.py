@@ -11,8 +11,13 @@ then classify unknown binaries' listings — as four subcommands:
 * ``predict``  — classify listings with a persisted model.
 * ``classify`` — classify listings through the serving engine
   (registry archives, per-request failure kinds, prediction cache).
-* ``serve``    — run the micro-batching HTTP classification service
-  (``/classify``, ``/healthz``, ``/metrics``).
+* ``serve``    — run the HTTP classification service (``/classify``,
+  ``/healthz``, ``/metrics``): single-process micro-batching by
+  default, or a multi-process fleet of model replicas with
+  ``--workers N``.
+* ``rollout``  — drive a running fleet's zero-downtime model rollout
+  (``start``/``status``/``promote``/``rollback`` against the server's
+  ``/rollout/*`` endpoints).
 * ``sweep``    — Table II-style hyper-parameter sweep with ``--n-jobs``
   process-pool parallelism and ``--journal``/``--resume`` checkpointing.
 * ``lint``     — project-invariant static analysis (``repro.analysis``):
@@ -226,28 +231,144 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the micro-batching HTTP classification service."""
-    from repro.serve import build_server
+    """Run the HTTP classification service (single-process or fleet).
 
-    engine = _serving_engine(args)
-    server = build_server(
-        engine,
-        host=args.host,
-        port=args.port,
-        max_batch_size=args.max_batch_size,
-        max_wait_ms=args.max_wait_ms,
-        quiet=not args.verbose,
-    )
-    described = (engine.model_info.describe()
-                 if engine.model_info else "in-process model")
-    print(f"Serving {described} on http://{args.host}:{server.port} "
-          f"(max_batch_size={args.max_batch_size}, "
-          f"max_wait_ms={args.max_wait_ms})")
-    print("Endpoints: POST /classify, GET /healthz, GET /metrics")
+    ``--workers 0`` (the default) keeps the original single-process
+    path: one engine behind one micro-batcher.  ``--workers N`` starts
+    N model-replica worker processes behind the fleet dispatcher
+    (least-loaded routing, per-worker batching, SIGKILL+respawn
+    supervision) and enables the ``/rollout/*`` endpoints.
+    """
+    if args.workers > 0:
+        from repro.serve import FleetDispatcher, build_fleet_server
+
+        if args.model_dir or not (args.registry and args.model):
+            raise MagicError(
+                "--workers N requires --registry and --model: fleet "
+                "replicas each load a verified archive from the registry"
+            )
+        name, _, version = args.model.partition("@")
+        dispatcher = FleetDispatcher(
+            args.registry,
+            name,
+            version or None,
+            num_workers=args.workers,
+            max_batch_size=args.max_batch_size,
+            batch_timeout=args.batch_timeout,
+            max_vertices=args.max_vertices,
+        )
+        server = build_fleet_server(
+            dispatcher,
+            host=args.host,
+            port=args.port,
+            request_timeout=args.request_timeout,
+            quiet=not args.verbose,
+        )
+        print(f"Serving {dispatcher.describe_model()} on "
+              f"http://{args.host}:{server.port} "
+              f"(fleet: {args.workers} workers, "
+              f"max_batch_size={args.max_batch_size})")
+        print("Endpoints: POST /classify, GET /healthz, GET /metrics, "
+              "POST /rollout/start|promote|rollback, GET /rollout/status")
+    else:
+        from repro.serve import build_server
+
+        engine = _serving_engine(args)
+        server = build_server(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            request_timeout=args.request_timeout,
+            quiet=not args.verbose,
+        )
+        described = (engine.model_info.describe()
+                     if engine.model_info else "in-process model")
+        print(f"Serving {described} on http://{args.host}:{server.port} "
+              f"(max_batch_size={args.max_batch_size}, "
+              f"max_wait_ms={args.max_wait_ms})")
+        print("Endpoints: POST /classify, GET /healthz, GET /metrics")
     try:
         server.serve()
     except KeyboardInterrupt:
         print("shutting down")
+    return 0
+
+
+def cmd_rollout(args: argparse.Namespace) -> int:
+    """Drive a running fleet's ``/rollout/*`` control surface over HTTP."""
+    import json
+    import time
+    from urllib import error as urlerror
+    from urllib import request as urlrequest
+
+    base = args.url.rstrip("/")
+
+    def call(method: str, path: str, payload=None):
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urlrequest.Request(
+            base + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urlrequest.urlopen(req, timeout=args.http_timeout) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urlerror.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                body = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                body = {"error": raw}
+            return exc.code, body
+        except urlerror.URLError as exc:
+            raise MagicError(
+                f"cannot reach the serve endpoint at {base}: {exc.reason}"
+            ) from exc
+
+    if args.action == "start":
+        if not args.version:
+            raise MagicError("rollout start requires --version")
+        payload = {"version": args.version}
+        if args.num_workers is not None:
+            payload["num_workers"] = args.num_workers
+        if args.shadow_fraction is not None:
+            payload["shadow_fraction"] = args.shadow_fraction
+        if args.min_samples is not None:
+            payload["min_samples"] = args.min_samples
+        if args.min_parity is not None:
+            payload["min_parity"] = args.min_parity
+        if args.max_latency_ratio is not None:
+            payload["max_latency_ratio"] = args.max_latency_ratio
+        if args.manual:
+            payload["auto"] = False
+        status, body = call("POST", "/rollout/start", payload)
+    elif args.action == "status":
+        status, body = call("GET", "/rollout/status")
+    else:  # promote / rollback
+        status, body = call("POST", f"/rollout/{args.action}")
+
+    print(json.dumps(body, indent=2))
+    if status >= 400:
+        return 1
+    if args.action == "start" and args.watch:
+        deadline = time.monotonic() + args.watch
+        while time.monotonic() < deadline:
+            time.sleep(args.interval)
+            status, body = call("GET", "/rollout/status")
+            state = body.get("state")
+            report = body.get("report") or {}
+            print(f"state={state} completed={report.get('completed')} "
+                  f"parity={report.get('parity')} "
+                  f"latency_ratio={report.get('latency_ratio')}")
+            if state != "shadowing":
+                print(json.dumps(body, indent=2))
+                return 0 if state == "promoted" else 1
+        print("watch window elapsed while still shadowing", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -519,20 +640,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_classify.set_defaults(func=cmd_classify)
 
     p_serve = sub.add_parser(
-        "serve", help="run the micro-batching HTTP classification service"
+        "serve", help="run the HTTP classification service "
+                      "(single-process or --workers N fleet)"
     )
     add_model_source(p_serve)
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8731,
                          help="listen port (0 picks a free one)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="model-replica worker processes; 0 keeps the "
+                              "single-process micro-batching path")
     p_serve.add_argument("--max-batch-size", type=int, default=32,
                          help="requests coalesced into one forward pass")
     p_serve.add_argument("--max-wait-ms", type=float, default=5.0,
                          help="how long the first request of a batch waits "
-                              "for company")
+                              "for company (single-process mode only)")
+    p_serve.add_argument("--batch-timeout", type=float, default=60.0,
+                         help="wall-clock limit per fleet worker batch; a "
+                              "worker over it is killed and respawned")
+    p_serve.add_argument("--request-timeout", type=float, default=60.0,
+                         help="per-request queue timeout before a 503")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_rollout = sub.add_parser(
+        "rollout",
+        help="drive a running fleet's zero-downtime model rollout",
+    )
+    p_rollout.add_argument("action",
+                           choices=("start", "status", "promote", "rollback"))
+    p_rollout.add_argument("--url", default="http://127.0.0.1:8731",
+                           help="base URL of the running serve endpoint")
+    p_rollout.add_argument("--version",
+                           help="candidate registry version (start)")
+    p_rollout.add_argument("--num-workers", type=int, default=None,
+                           help="candidate replicas (default: primary count)")
+    p_rollout.add_argument("--shadow-fraction", type=float, default=None,
+                           help="fraction of live traffic mirrored to the "
+                                "candidate (default 0.25)")
+    p_rollout.add_argument("--min-samples", type=int, default=None,
+                           help="mirrored completions before a verdict")
+    p_rollout.add_argument("--min-parity", type=float, default=None,
+                           help="label-parity canary threshold")
+    p_rollout.add_argument("--max-latency-ratio", type=float, default=None,
+                           help="shadow/primary p50 latency canary threshold")
+    p_rollout.add_argument("--manual", action="store_true",
+                           help="park the verdict for operator "
+                                "promote/rollback instead of acting on it")
+    p_rollout.add_argument("--watch", type=float, default=None,
+                           help="after start, poll status for up to this "
+                                "many seconds until the verdict lands")
+    p_rollout.add_argument("--interval", type=float, default=1.0,
+                           help="seconds between --watch polls")
+    p_rollout.add_argument("--http-timeout", type=float, default=10.0,
+                           help="timeout for each HTTP call")
+    p_rollout.set_defaults(func=cmd_rollout)
 
     return parser
 

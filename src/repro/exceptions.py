@@ -71,8 +71,53 @@ class TrainingError(MagicError):
     """Raised when model training cannot proceed (e.g. empty fold)."""
 
 
+class WorkerError(MagicError):
+    """Raised by the supervised worker-process machinery (`repro.workers`).
+
+    Covers protocol misuse of the shared pipe transport (sending to a
+    stopped worker, double-starting a worker) — *not* per-unit failures,
+    which stay structured data (:class:`FailureKind` tuples) so one bad
+    sample never aborts a batch or a serving fleet.
+    """
+
+
+class WorkerStartupError(WorkerError):
+    """Raised when a long-lived request worker fails to initialize.
+
+    A request worker must announce readiness (after loading its model
+    replica) before it may be routed traffic; failure to do so within
+    the start deadline — or an explicit init-error report from the child
+    — raises this in the parent instead of silently serving nothing.
+    """
+
+    def __init__(self, worker: str, detail: str) -> None:
+        self.worker = worker
+        self.detail = detail
+        super().__init__(f"worker {worker!r} failed to start: {detail}")
+
+
 class ServeError(MagicError):
     """Raised by the online classification service (`repro.serve`)."""
+
+
+class FleetError(ServeError):
+    """Raised on fleet dispatcher misuse or misconfiguration.
+
+    Per-request trouble (a crashed replica, a timed-out batch) never
+    raises this — it becomes a structured failure on the affected
+    request after the retry budget is spent, while the fleet respawns
+    the worker and keeps serving.
+    """
+
+
+class RolloutError(ServeError):
+    """Raised on rollout state-machine violations.
+
+    Starting a rollout while one is active, promoting when no candidate
+    is shadowing, or targeting a version that is not published all land
+    here; canary *outcomes* (promotion, rollback) are states, not
+    errors.
+    """
 
 
 class RegistryError(ServeError):

@@ -11,15 +11,28 @@ service that metric describes:
   LRU prediction cache.
 * :mod:`repro.serve.batching` — micro-batching queue coalescing
   concurrent requests into shared ``GraphBatch`` forwards.
+* :mod:`repro.serve.fleet` — multi-process dispatcher fanning traffic
+  over long-lived model-replica workers (least-loaded routing,
+  per-worker batching, SIGKILL+respawn supervision).
+* :mod:`repro.serve.rollout` — zero-downtime rollout: shadow a
+  candidate registry version on mirrored traffic, judge the canary
+  report, promote or roll back atomically.
 * :mod:`repro.serve.http` — stdlib threaded HTTP front end
-  (``/classify``, ``/healthz``, ``/metrics``).
+  (``/classify``, ``/healthz``, ``/metrics``, ``/rollout/*``) over
+  either backend.
 * :mod:`repro.serve.metrics` — thread-safe counters, latency
   percentiles, and the micro-batch size histogram behind ``/metrics``.
 """
 
 from repro.serve.batching import MicroBatcher
 from repro.serve.engine import ClassificationResult, InferenceEngine
-from repro.serve.http import ClassificationServer, build_server
+from repro.serve.fleet import FleetDispatcher
+from repro.serve.http import (
+    ClassificationServer,
+    EngineBackend,
+    build_fleet_server,
+    build_server,
+)
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import (
     ArchiveInfo,
@@ -29,20 +42,31 @@ from repro.serve.registry import (
     load,
     load_archive,
     publish,
+    read_manifest,
+    resolve_version,
 )
+from repro.serve.rollout import CanaryReport, RolloutConfig, RolloutController
 
 __all__ = [
     "ArchiveInfo",
+    "CanaryReport",
     "ClassificationResult",
     "ClassificationServer",
+    "EngineBackend",
+    "FleetDispatcher",
     "InferenceEngine",
     "LoadedModel",
     "MicroBatcher",
+    "RolloutConfig",
+    "RolloutController",
     "ServeMetrics",
+    "build_fleet_server",
     "build_server",
     "list_models",
     "list_versions",
     "load",
     "load_archive",
     "publish",
+    "read_manifest",
+    "resolve_version",
 ]

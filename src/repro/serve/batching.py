@@ -15,6 +15,14 @@ Latency/throughput knobs:
 * ``max_wait_ms`` caps how long the *first* request of a batch waits
   for company — ``0`` degenerates to one-request-at-a-time.
 
+The wait window also closes **early** once every outstanding request is
+already aboard (queued requests == submitted-but-unanswered requests):
+when offered concurrency is below ``max_batch_size``, nobody else can
+join the batch until someone gets an answer, so running out the window
+would be pure latency tax.  Coalescing under load still happens the
+same way — requests pile up behind the in-flight forward and leave as
+one batch.
+
 The worker serializes model access, so the engine never sees two
 concurrent forwards; HTTP handler threads only block on their own
 request's event.  Batch sizes are recorded into the shared
@@ -71,6 +79,9 @@ class MicroBatcher:
         self._state = threading.Condition()
         self._running = False
         self._thread: Optional[threading.Thread] = None
+        # Submitted but not yet answered (queued + in the current batch);
+        # when the queue holds this many, the wait window closes early.
+        self._waiters = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -106,6 +117,12 @@ class MicroBatcher:
     def running(self) -> bool:
         return self._running
 
+    @property
+    def pending_count(self) -> int:
+        """Requests submitted but not yet answered (queued + in-flight)."""
+        with self._state:
+            return self._waiters
+
     # -- request side --------------------------------------------------
 
     def submit(
@@ -119,6 +136,7 @@ class MicroBatcher:
                     "MicroBatcher is not running; call start() first"
                 )
             self._queue.append(pending)
+            self._waiters += 1
             self._state.notify_all()
         if not pending.event.wait(timeout):
             raise ServeError(
@@ -159,6 +177,9 @@ class MicroBatcher:
             for request, result in zip(batch, results):
                 request.result = result
                 request.event.set()
+            with self._state:
+                self._waiters -= len(batch)
+                self._state.notify_all()
 
     def _collect(self) -> List[_PendingRequest]:
         """Block for the next batch: first arrival opens a wait window."""
@@ -172,6 +193,11 @@ class MicroBatcher:
                 self._running
                 and len(self._queue) < self.max_batch_size
             ):
+                if len(self._queue) >= self._waiters:
+                    # Everyone submitted-but-unanswered is already in the
+                    # queue; nobody else can join until someone gets an
+                    # answer, so the rest of the window is pure latency.
+                    break
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break

@@ -1,0 +1,824 @@
+"""Multi-process serving fleet: fan ``/classify`` over model replicas.
+
+The single-process serve stack (engine + :class:`MicroBatcher`) is
+GIL-bound: one worker thread runs every forward, so one deployment can
+never use more than one core.  The :class:`FleetDispatcher` lifts the
+same contract onto N long-lived worker processes
+(:class:`~repro.workers.request.RequestWorker`), each of which loads its
+own model replica from the registry at startup and answers batched
+classification messages over its pipe.
+
+Routing and batching
+--------------------
+Requests queue in the parent; a single dispatch thread multiplexes all
+worker pipes (plus a self-pipe waker) with ``multiprocessing.connection
+.wait``.  Each worker holds at most **one** outstanding batch, so
+batching is continuous rather than windowed: whenever a worker is idle
+and the queue is non-empty, it immediately receives up to
+``max_batch_size`` requests (split fairly across idle workers), and
+requests arriving while every worker is busy pile up and leave as the
+next batch — the same coalescing-under-load behaviour as the
+single-process :class:`MicroBatcher`, without the wait-window latency
+tax.  Ties between idle workers break toward the least-served replica.
+
+Failure semantics
+-----------------
+The fleet inherits the extraction pipeline's supervision model: a
+worker that closes its pipe (crash) or blows the per-batch wall-clock
+deadline is SIGKILLed and respawned, and its in-flight requests are
+retried once on another replica.  A request that fails twice gets a
+structured :class:`ClassificationResult` carrying a ``crash`` /
+``timeout`` :class:`FailureKind` — exactly the taxonomy batch
+extraction reports, so operators triage serve-time and extract-time
+faults with one vocabulary.  A worker whose *respawn* fails to
+initialize is marked failed and taken out of rotation; when every
+primary replica is failed, ``submit`` raises
+:class:`~repro.exceptions.ServeError` (HTTP 503) instead of queueing
+into the void.
+
+Rollout
+-------
+The dispatcher also hosts the zero-downtime rollout protocol: candidate
+workers run beside the primaries under the ``shadow`` role, a fraction
+of successful live traffic is mirrored to them (results never returned
+to clients), and the accumulated canary report promotes or rolls back
+atomically under the fleet lock.  See :mod:`repro.serve.rollout`.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+import os
+import threading
+import time
+from collections import deque
+from multiprocessing import connection as mp_connection
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.exceptions import FleetError, RolloutError, ServeError, WorkerStartupError
+from repro.features.pipeline import ExtractionFailure, FailureKind
+from repro.serve.batching import DEFAULT_MAX_BATCH_SIZE
+from repro.serve.engine import DEFAULT_CACHE_SIZE, ClassificationResult, InferenceEngine
+from repro.serve.metrics import ServeMetrics
+from repro.serve.registry import read_manifest, resolve_version
+from repro.serve.rollout import SHADOWING, RolloutConfig, RolloutController
+from repro.workers.pool import _TICK_SECONDS
+from repro.workers.request import INIT_ERROR, READY, RequestWorker, WorkerReply
+
+#: Default wall-clock limit for one worker batch (extraction + forward).
+DEFAULT_BATCH_TIMEOUT = 60.0
+
+#: Default deadline for a replica to load its model and announce ready.
+DEFAULT_START_TIMEOUT = 120.0
+
+#: Replica states (roles are "primary" / "shadow" / "retiring").
+STARTING = "starting"
+READY_STATE = "ready"
+FAILED = "failed"
+
+
+class _InferenceHandler:
+    """Worker-side request handler: one engine replica, batched calls."""
+
+    def __init__(self, engine: InferenceEngine) -> None:
+        self.engine = engine
+
+    def __call__(self, payload: List) -> List[ClassificationResult]:
+        return self.engine.classify_texts([tuple(pair) for pair in payload])
+
+
+def inference_service(
+    root: str,
+    name: str,
+    version: str,
+    max_vertices: Optional[int] = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    fault_plan=None,
+):
+    """Entrypoint factory run *inside* each fleet worker process.
+
+    Referenced by name (``"repro.serve.fleet:inference_service"``) so
+    nothing callable crosses the pipe; the returned handler answers one
+    ``[(name, text), ...]`` batch per message.  Loading goes through the
+    registry, so every replica independently verifies the archive's
+    integrity before serving.
+    """
+    engine = InferenceEngine.from_registry(
+        root,
+        name,
+        version=version,
+        cache_size=cache_size,
+        max_vertices=max_vertices,
+        fault_plan=fault_plan,
+    )
+    return _InferenceHandler(engine)
+
+
+ENTRYPOINT = "repro.serve.fleet:inference_service"
+
+
+class _FleetRequest:
+    """One queued classification request (live or shadow mirror copy)."""
+
+    __slots__ = ("name", "text", "event", "result", "error", "attempts",
+                 "sent_at", "primary_family", "primary_latency")
+
+    def __init__(self, name: str, text: str,
+                 event: Optional[threading.Event]) -> None:
+        self.name = name
+        self.text = text
+        #: ``None`` marks a shadow mirror copy: no client is waiting.
+        self.event = event
+        self.result: Optional[ClassificationResult] = None
+        self.error: Optional[Exception] = None
+        self.attempts = 0
+        self.sent_at = 0.0
+        # Set on mirror copies only: the live answer they shadow.
+        self.primary_family: Optional[str] = None
+        self.primary_latency = 0.0
+
+    @property
+    def is_shadow(self) -> bool:
+        return self.event is None
+
+
+class _Replica:
+    """One fleet slot: a request worker plus routing state and stats."""
+
+    __slots__ = ("worker", "role", "state", "version", "batch", "batch_id",
+                 "deadline", "served", "batches", "retries", "detail")
+
+    def __init__(self, worker: RequestWorker, role: str, version: str,
+                 state: str) -> None:
+        self.worker = worker
+        self.role = role
+        self.state = state
+        self.version = version
+        self.batch: Optional[List[_FleetRequest]] = None
+        self.batch_id = 0
+        self.deadline: Optional[float] = None
+        self.served = 0
+        self.batches = 0
+        self.retries = 0
+        self.detail: Optional[str] = None  # why state == "failed"
+
+    @property
+    def busy(self) -> bool:
+        return self.batch is not None
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "pid": self.worker.pid,
+            "role": self.role,
+            "state": self.state,
+            "version": self.version,
+            "busy": self.busy,
+            "served": self.served,
+            "batches": self.batches,
+            "respawns": self.worker.respawns,
+            "retries": self.retries,
+            "detail": self.detail,
+        }
+
+
+class FleetDispatcher:
+    """Routes classification traffic over N model-replica processes.
+
+    Implements the serving-backend contract the HTTP layer expects
+    (``submit`` / ``metrics_snapshot`` / ``health_payload`` /
+    ``pending_count`` / lifecycle), plus the rollout control surface.
+
+    Parameters
+    ----------
+    root, name, version:
+        Registry coordinates of the served model; ``version=None`` pins
+        to the latest finalized archive at construction time, so every
+        replica — including respawns — loads the same version.
+    num_workers:
+        Primary replica count (must be >= 1; ``--workers 0`` keeps the
+        single-process path and never constructs a dispatcher).
+    max_batch_size:
+        Cap on requests per worker batch.
+    batch_timeout:
+        Wall-clock limit for one worker batch; a worker over it is
+        SIGKILLed and respawned (``None`` disables).
+    start_timeout:
+        Deadline for a replica to load its model and announce ready.
+    max_vertices, cache_size, fault_plan:
+        Forwarded into each worker's :class:`InferenceEngine`
+        (``fault_plan`` exists for tests: deterministic hangs/crashes).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        name: str,
+        version: Optional[str] = None,
+        num_workers: int = 2,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        batch_timeout: Optional[float] = DEFAULT_BATCH_TIMEOUT,
+        start_timeout: float = DEFAULT_START_TIMEOUT,
+        max_vertices: Optional[int] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        fault_plan=None,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise FleetError(f"num_workers must be >= 1, got {num_workers}")
+        if max_batch_size < 1:
+            raise FleetError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        self.root = os.path.abspath(root)
+        self.name = name
+        self.version = resolve_version(self.root, name, version)
+        manifest = read_manifest(self.root, name, self.version)
+        self.family_names: List[str] = list(manifest["family_names"])
+        self.num_workers = num_workers
+        self.max_batch_size = max_batch_size
+        self.batch_timeout = batch_timeout
+        self.start_timeout = start_timeout
+        self.max_vertices = max_vertices
+        self.cache_size = cache_size
+        self.fault_plan = fault_plan
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self._lock = threading.Lock()
+        self._queue: Deque[_FleetRequest] = deque()
+        self._shadow_queue: Deque[_FleetRequest] = deque()
+        self._replicas: List[_Replica] = []
+        self._rollout: Optional[RolloutController] = None
+        self._request_counter = 0
+        self._spawn_counter = 0
+        self._running = False
+        self._accepting = False
+        self._thread: Optional[threading.Thread] = None
+        self._waker_r = -1
+        self._waker_w = -1
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "FleetDispatcher":
+        """Spawn the replicas, wait for readiness, start dispatching."""
+        with self._lock:
+            if self._running:
+                raise FleetError("fleet dispatcher is already running")
+            self._running = True
+            self._accepting = True
+        self._waker_r, self._waker_w = os.pipe()
+        os.set_blocking(self._waker_w, False)
+        spawned: List[_Replica] = []
+        try:
+            for _ in range(self.num_workers):
+                spawned.append(self._spawn_replica("primary", self.version))
+        except WorkerStartupError:
+            for replica in spawned:
+                replica.worker.stop(kill=True)
+            self._close_waker()
+            with self._lock:
+                self._running = False
+                self._accepting = False
+            raise
+        with self._lock:
+            self._replicas.extend(spawned)
+        self._thread = threading.Thread(
+            target=self._loop, name="fleet-dispatch", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Ordered shutdown: stop accepting, drain, stop workers."""
+        with self._lock:
+            if not self._running:
+                return
+            self._accepting = False
+        self._wake()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                drained = (
+                    not self._queue
+                    and not self._shadow_queue
+                    and not any(replica.busy for replica in self._replicas)
+                )
+            if drained:
+                break
+            time.sleep(_TICK_SECONDS)
+        with self._lock:
+            self._running = False
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._shadow_queue.clear()
+        for request in leftovers:  # only on drain timeout
+            request.error = ServeError("fleet stopped before the request ran")
+            if request.event is not None:
+                request.event.set()
+        self._wake()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        with self._lock:
+            replicas = list(self._replicas)
+            self._replicas.clear()
+        for replica in replicas:
+            replica.worker.stop(kill=replica.busy)
+        self._close_waker()
+
+    def __enter__(self) -> "FleetDispatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _close_waker(self) -> None:
+        for fd in (self._waker_r, self._waker_w):
+            if fd >= 0:
+                try:
+                    os.close(fd)
+                except OSError:  # pragma: no cover - already closed
+                    pass
+        self._waker_r = self._waker_w = -1
+
+    def _wake(self) -> None:
+        if self._waker_w < 0:
+            return
+        try:
+            os.write(self._waker_w, b"x")
+        except (BlockingIOError, OSError):
+            pass  # already signalled (pipe full) or shutting down
+
+    def _spawn_replica(self, role: str, version: str) -> _Replica:
+        """Spawn one worker and block until it announces ready."""
+        self._spawn_counter += 1
+        worker = RequestWorker(
+            name=f"{self.name}@{version}#{self._spawn_counter}",
+            entrypoint=ENTRYPOINT,
+            init_kwargs={
+                "root": self.root,
+                "name": self.name,
+                "version": version,
+                "max_vertices": self.max_vertices,
+                "cache_size": self.cache_size,
+                "fault_plan": self.fault_plan,
+            },
+        )
+        worker.start(wait_ready=self.start_timeout)
+        return _Replica(worker, role=role, version=version, state=READY_STATE)
+
+    # -- request side --------------------------------------------------
+
+    def submit(
+        self, text: str, name: str = "", timeout: Optional[float] = 30.0
+    ) -> ClassificationResult:
+        """Classify ``text``; blocks until a replica answers.
+
+        Mirrors :meth:`MicroBatcher.submit`: raises
+        :class:`~repro.exceptions.ServeError` when the fleet is not
+        accepting work, has no live replicas, or the request times out.
+        """
+        request = _FleetRequest(name=name, text=text, event=threading.Event())
+        with self._lock:
+            if not self._running or not self._accepting:
+                raise ServeError(
+                    "fleet dispatcher is not accepting requests"
+                )
+            if not any(replica.role == "primary" and replica.state != FAILED
+                       for replica in self._replicas):
+                raise ServeError(
+                    "every fleet worker has failed; restart the service"
+                )
+            self._queue.append(request)
+        self._wake()
+        if not request.event.wait(timeout):
+            with self._lock:
+                try:
+                    self._queue.remove(request)
+                except ValueError:
+                    pass  # already dispatched; the late result is discarded
+            raise ServeError(
+                f"classification of {name or 'sample'!r} timed out after "
+                f"{timeout}s in the fleet queue"
+            )
+        if request.error is not None:
+            raise request.error
+        assert request.result is not None
+        return request.result
+
+    @property
+    def pending_count(self) -> int:
+        """Live requests queued or in flight (shadow copies excluded)."""
+        with self._lock:
+            in_flight = sum(
+                len(replica.batch)
+                for replica in self._replicas
+                if replica.batch is not None and replica.role != "shadow"
+            )
+            return len(self._queue) + in_flight
+
+    # -- observability -------------------------------------------------
+
+    def fleet_snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return self._fleet_snapshot_locked()
+
+    def _fleet_snapshot_locked(self) -> Dict[str, Any]:
+        return {
+            "model": f"{self.name}@{self.version}",
+            "queue_depth": len(self._queue),
+            "shadow_queue_depth": len(self._shadow_queue),
+            "workers": [replica.snapshot() for replica in self._replicas],
+            "rollout": (self._rollout.status()
+                        if self._rollout is not None else None),
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        return {**self.metrics.snapshot(), "fleet": self.fleet_snapshot()}
+
+    def describe_model(self) -> str:
+        return f"{self.name}@{self.version}"
+
+    def batching_info(self) -> Dict[str, Any]:
+        # max_wait_ms is structural here: fleet batching is continuous
+        # (idle worker + non-empty queue dispatches immediately).
+        return {"max_batch_size": self.max_batch_size, "max_wait_ms": 0.0}
+
+    # -- rollout control -----------------------------------------------
+
+    def start_rollout(self, config: RolloutConfig) -> Dict[str, Any]:
+        """Spawn candidate workers and begin shadowing live traffic."""
+        config.validate()
+        with self._lock:
+            if not self._running:
+                raise RolloutError("fleet dispatcher is not running")
+            if self._rollout is not None and self._rollout.active:
+                raise RolloutError(
+                    f"a rollout to {self._rollout.config.version} is already "
+                    "active; promote or roll it back first"
+                )
+            if config.version == self.version:
+                raise RolloutError(
+                    f"candidate version {config.version} is already serving"
+                )
+            primary_count = sum(
+                1 for replica in self._replicas if replica.role == "primary"
+            )
+        # Validates the candidate exists and is finalized, and yields its
+        # family table for the canary parity check.
+        manifest = read_manifest(self.root, self.name, config.version)
+        count = config.num_workers or max(primary_count, 1)
+        spawned: List[_Replica] = []
+        try:
+            for _ in range(count):
+                spawned.append(self._spawn_replica("shadow", config.version))
+        except WorkerStartupError:
+            for replica in spawned:
+                replica.worker.stop(kill=True)
+            raise
+        controller = RolloutController(
+            config, candidate_families=list(manifest["family_names"])
+        )
+        with self._lock:
+            if self._rollout is not None and self._rollout.active:
+                doomed = spawned  # lost the race to a concurrent start
+            else:
+                self._replicas.extend(spawned)
+                self._rollout = controller
+                doomed = []
+        for replica in doomed:
+            replica.worker.stop(kill=False)
+        if doomed:
+            raise RolloutError("another rollout started concurrently")
+        self._wake()
+        return controller.status()
+
+    def rollout_status(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return None if self._rollout is None else self._rollout.status()
+
+    def promote(self) -> Dict[str, Any]:
+        """Operator-driven promotion of the shadowing candidate."""
+        with self._lock:
+            if self._rollout is None or not self._rollout.active:
+                raise RolloutError("no active rollout to promote")
+            self._promote_locked()
+            status = self._rollout.status()
+        self._wake()
+        return status
+
+    def rollback(self) -> Dict[str, Any]:
+        """Operator-driven rollback; the old version never stopped."""
+        with self._lock:
+            if self._rollout is None or not self._rollout.active:
+                raise RolloutError("no active rollout to roll back")
+            self._rollback_locked()
+            status = self._rollout.status()
+        self._wake()
+        return status
+
+    def _promote_locked(self) -> None:
+        """Swap the candidate in atomically: shadows become primaries."""
+        assert self._rollout is not None
+        for replica in self._replicas:
+            if replica.role == "primary":
+                replica.role = "retiring"
+            elif replica.role == "shadow":
+                replica.role = "primary"
+        self._shadow_queue.clear()  # repro: allow[lock-discipline] — _locked helper, caller holds self._lock
+        self.version = self._rollout.config.version
+        self.family_names = list(self._rollout.candidate_families)
+        self._rollout.mark_promoted()
+
+    def _rollback_locked(self) -> None:
+        """Retire the candidate; the primary set is untouched."""
+        assert self._rollout is not None
+        for replica in self._replicas:
+            if replica.role == "shadow":
+                replica.role = "retiring"
+        self._shadow_queue.clear()  # repro: allow[lock-discipline] — _locked helper, caller holds self._lock
+        self._rollout.mark_rolled_back()
+
+    # -- dispatch loop -------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                if not self._running:
+                    break
+                retired = self._take_retired_locked()
+                self._dispatch_locked()
+                self._enforce_deadlines_locked()
+                conns = {
+                    replica.worker.conn: replica
+                    for replica in self._replicas
+                    if replica.state != FAILED
+                    and replica.worker.conn is not None
+                }
+            for replica in retired:
+                replica.worker.stop(kill=False)
+            try:
+                ready = mp_connection.wait(
+                    list(conns) + [self._waker_r], timeout=_TICK_SECONDS
+                )
+            except OSError:  # pragma: no cover - fd torn down mid-wait
+                continue
+            for obj in ready:
+                if obj == self._waker_r:
+                    try:
+                        os.read(self._waker_r, 4096)
+                    except OSError:  # pragma: no cover
+                        pass
+                    continue
+                self._service_replica(conns[obj])
+
+    def _take_retired_locked(self) -> List[_Replica]:
+        """Detach idle retiring replicas (stopped outside the lock)."""
+        retired = [
+            replica for replica in self._replicas
+            if replica.role == "retiring" and not replica.busy
+        ]
+        for replica in retired:
+            self._replicas.remove(replica)  # repro: allow[lock-discipline] — _locked helper, caller holds self._lock
+        return retired
+
+    def _dispatch_locked(self) -> None:
+        self._dispatch_queue_locked(self._queue, "primary")
+        if self._rollout is not None and self._rollout.active:
+            self._dispatch_queue_locked(self._shadow_queue, "shadow")
+
+    def _dispatch_queue_locked(self, queue: Deque[_FleetRequest],
+                               role: str) -> None:
+        while queue:
+            idle = [
+                replica for replica in self._replicas
+                if replica.role == role
+                and replica.state == READY_STATE
+                and not replica.busy
+            ]
+            if not idle:
+                return
+            # Spread the backlog fairly over the idle workers; ties go to
+            # the replica that has served the least.
+            share = math.ceil(len(queue) / len(idle))
+            size = min(len(queue), self.max_batch_size, max(1, share))
+            replica = min(idle, key=operator.attrgetter("served"))
+            batch = [queue.popleft() for _ in range(size)]
+            self._send_batch_locked(replica, batch, queue)
+
+    def _send_batch_locked(self, replica: _Replica,
+                           batch: List[_FleetRequest],
+                           queue: Deque[_FleetRequest]) -> None:
+        self._request_counter += 1
+        batch_id = self._request_counter
+        payload = [(request.name, request.text) for request in batch]
+        try:
+            replica.worker.send(batch_id, payload)
+        except (BrokenPipeError, OSError):
+            # Died between batches: the batch goes back uncharged and
+            # the replica respawns.
+            for request in reversed(batch):
+                queue.appendleft(request)
+            self._respawn_locked(replica)
+            return
+        now = time.perf_counter()
+        for request in batch:
+            request.sent_at = now
+            request.attempts += 1
+        replica.batch = batch
+        replica.batch_id = batch_id
+        if self.batch_timeout is not None:
+            replica.deadline = time.monotonic() + self.batch_timeout
+        else:
+            replica.deadline = None
+
+    def _service_replica(self, replica: _Replica) -> None:
+        """One readable pipe: a reply, a readiness message, or EOF."""
+        try:
+            message = replica.worker.conn.recv()
+        except (EOFError, OSError):
+            with self._lock:
+                self._worker_died_locked(
+                    replica,
+                    FailureKind.CRASH,
+                    "fleet worker process died without reporting",
+                )
+            return
+        if message[0] in (READY, INIT_ERROR):
+            with self._lock:
+                try:
+                    replica.worker.observe_ready(message)
+                    replica.state = READY_STATE
+                except WorkerStartupError as exc:
+                    replica.state = FAILED
+                    replica.detail = exc.detail
+                    self._fail_pending_if_dead_locked()
+            return
+        reply = WorkerReply.from_message(message)
+        with self._lock:
+            self._deliver_locked(replica, reply)
+
+    def _deliver_locked(self, replica: _Replica, reply: WorkerReply) -> None:
+        if replica.batch is None or reply.request_id != replica.batch_id:
+            return  # stale reply from before a kill/respawn
+        batch = replica.batch
+        replica.batch = None
+        replica.deadline = None
+        replica.batches += 1
+        replica.served += len(batch)
+        now = time.perf_counter()
+        if not reply.ok:
+            # The handler itself raised (engine bug): every request in
+            # the batch gets a structured unexpected-failure result.
+            for request in batch:
+                self._finish_failed_locked(
+                    request, FailureKind.UNEXPECTED, str(reply.value)
+                )
+            return
+        self.metrics.observe_batch(len(batch))
+        results: List[ClassificationResult] = reply.value
+        for request, result in zip(batch, results):
+            latency = now - request.sent_at
+            if request.is_shadow:
+                self._record_shadow_locked(request, result, latency)
+            else:
+                request.result = result
+                if request.event is not None:
+                    request.event.set()
+                kind = (result.failure.kind.value
+                        if result.failure is not None else None)
+                self.metrics.observe_request(result.ok, kind)
+                self.metrics.observe_cache(result.cached)
+                self._maybe_mirror_locked(request, result, latency)
+        self._conclude_rollout_locked()
+
+    def _record_shadow_locked(self, request: _FleetRequest,
+                              result: ClassificationResult,
+                              latency: float) -> None:
+        if self._rollout is None or not self._rollout.active:
+            return
+        self._rollout.record_shadow_result(
+            primary_family=request.primary_family,
+            shadow_family=result.family,
+            shadow_ok=result.ok,
+            primary_latency=request.primary_latency,
+            shadow_latency=latency,
+        )
+
+    def _maybe_mirror_locked(self, request: _FleetRequest,
+                             result: ClassificationResult,
+                             latency: float) -> None:
+        rollout = self._rollout
+        if rollout is None or rollout.state != SHADOWING or not result.ok:
+            return
+        if not rollout.should_mirror():
+            return
+        rollout.record_mirrored()
+        mirror = _FleetRequest(name=request.name, text=request.text,
+                               event=None)
+        mirror.primary_family = result.family
+        mirror.primary_latency = latency
+        self._shadow_queue.append(mirror)  # repro: allow[lock-discipline] — _locked helper, caller holds self._lock
+
+    def _conclude_rollout_locked(self) -> None:
+        rollout = self._rollout
+        if rollout is None or rollout.state != SHADOWING:
+            return
+        verdict = rollout.evaluate()
+        if verdict is None or not rollout.config.auto:
+            return
+        if verdict == "promote":
+            self._promote_locked()
+        else:
+            self._rollback_locked()
+
+    # -- supervision ---------------------------------------------------
+
+    def _enforce_deadlines_locked(self) -> None:
+        if self.batch_timeout is None:
+            return
+        now = time.monotonic()
+        for replica in list(self._replicas):
+            if (replica.batch is None or replica.deadline is None
+                    or now < replica.deadline):
+                continue
+            self._worker_died_locked(
+                replica,
+                FailureKind.TIMEOUT,
+                f"fleet worker killed after exceeding the "
+                f"{self.batch_timeout}s batch deadline",
+            )
+
+    def _worker_died_locked(self, replica: _Replica, kind: FailureKind,
+                            detail: str) -> None:
+        """Charge the in-flight batch and respawn (or retire) the slot."""
+        batch = replica.batch
+        replica.batch = None
+        replica.deadline = None
+        if batch:
+            self._retry_or_fail_locked(replica, batch, kind, detail)
+        self._respawn_locked(replica)
+
+    def _retry_or_fail_locked(self, replica: _Replica,
+                              batch: List[_FleetRequest],
+                              kind: FailureKind, detail: str) -> None:
+        queue = (self._shadow_queue
+                 if replica.role == "shadow" else self._queue)
+        for request in reversed(batch):
+            if request.is_shadow:
+                # Mirror copies are never retried: the canary charges the
+                # candidate for losing them.
+                if self._rollout is not None and self._rollout.active:
+                    self._rollout.record_shadow_loss()
+                continue
+            if request.attempts < 2:
+                replica.retries += 1
+                queue.appendleft(request)
+            else:
+                self._finish_failed_locked(request, kind, detail)
+
+    def _finish_failed_locked(self, request: _FleetRequest,
+                              kind: FailureKind, detail: str) -> None:
+        if request.is_shadow:
+            if self._rollout is not None and self._rollout.active:
+                self._rollout.record_shadow_loss()
+            return
+        request.result = ClassificationResult(
+            name=request.name,
+            failure=ExtractionFailure(
+                name=request.name, kind=kind, detail=detail, index=0
+            ),
+        )
+        self.metrics.observe_request(False, kind.value)
+        if request.event is not None:
+            request.event.set()
+
+    def _respawn_locked(self, replica: _Replica) -> None:
+        if replica.role == "retiring" or not self._running:
+            if replica in self._replicas:
+                self._replicas.remove(replica)  # repro: allow[lock-discipline] — _locked helper, caller holds self._lock
+            replica.worker.stop(kill=True)
+            return
+        try:
+            replica.worker.respawn(kill=True, wait_ready=None)
+            replica.state = STARTING
+        except WorkerStartupError as exc:  # pragma: no cover - wait_ready=None
+            replica.state = FAILED
+            replica.detail = exc.detail
+            self._fail_pending_if_dead_locked()
+
+    def _fail_pending_if_dead_locked(self) -> None:
+        """Every primary failed: answer queued requests with 503s."""
+        if any(replica.role == "primary" and replica.state != FAILED
+               for replica in self._replicas):
+            return
+        while self._queue:
+            request = self._queue.popleft()  # repro: allow[lock-discipline] — _locked helper, caller holds self._lock
+            request.error = ServeError(
+                "every fleet worker has failed; restart the service"
+            )
+            if request.event is not None:
+                request.event.set()

@@ -1,20 +1,37 @@
 """Stdlib-only threaded HTTP front end for the classification service.
 
-Three endpoints, all JSON:
+Endpoints, all JSON:
 
 * ``POST /classify`` — body ``{"name": "...", "asm": "<listing text>"}``;
   replies ``200`` with family/label/probabilities, or ``422`` with the
   structured extraction failure (``{"error": {"kind", "detail"}}``) when
-  the *sample* is bad, or ``400`` when the *request* is bad.
+  the *sample* is bad, or ``400`` when the *request* is bad, or ``503``
+  when the *service* is (queue timeout, draining, dead fleet).
 * ``GET /healthz``  — liveness plus the served model's identity.
 * ``GET /metrics``  — the :class:`~repro.serve.metrics.ServeMetrics`
-  snapshot (request counts, cache hit rate, per-stage latency
-  percentiles, micro-batch size histogram).
+  snapshot; in fleet mode it additionally carries a ``"fleet"`` section
+  with per-worker state (busy, served, respawns, queue depth).
+* ``POST /rollout/start`` / ``GET /rollout/status`` /
+  ``POST /rollout/promote`` / ``POST /rollout/rollback`` — the
+  zero-downtime rollout control surface (fleet mode only; ``409``
+  otherwise).
 
-Handler threads (``ThreadingHTTPServer``, one per connection) park in
-the :class:`~repro.serve.batching.MicroBatcher` queue, so concurrent
-``/classify`` requests coalesce into shared ``GraphBatch`` forwards;
-the model itself only ever runs on the batcher's worker thread.
+The server is front-end only: it speaks to a **backend** — either the
+in-process engine + :class:`MicroBatcher` pair (``--workers 0``) or a
+:class:`~repro.serve.fleet.FleetDispatcher` fanning requests over model
+replica processes.  Both expose the same surface (``submit``,
+``metrics_snapshot``, ``pending_count``, lifecycle), so every handler
+path is identical in both modes.
+
+Operational contracts pinned here:
+
+* ``allow_reuse_address`` is ``True`` on the server class, so rapid
+  restart and rollout cycles rebind the port without waiting out
+  ``TIME_WAIT`` sockets.
+* Shutdown is ordered: stop accepting connections, drain in-flight
+  batches (handler threads are non-daemon and joined), then close the
+  socket — a request accepted before shutdown still completes with its
+  real status.
 """
 
 from __future__ import annotations
@@ -22,9 +39,9 @@ from __future__ import annotations
 import json
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
-from repro.exceptions import ServeError
+from repro.exceptions import RolloutError, ServeError
 from repro.serve.batching import (
     DEFAULT_MAX_BATCH_SIZE,
     DEFAULT_MAX_WAIT_MS,
@@ -37,25 +54,86 @@ from repro.serve.engine import ClassificationResult, InferenceEngine
 MAX_BODY_BYTES = 32 * 1024 * 1024
 
 
-class ClassificationServer(ThreadingHTTPServer):
-    """HTTP server owning an engine and its micro-batcher."""
-
-    daemon_threads = True
+class EngineBackend:
+    """Single-process backend: one engine behind one micro-batcher."""
 
     def __init__(
         self,
-        address: Tuple[str, int],
         engine: InferenceEngine,
         max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
         max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
-        request_timeout: float = 60.0,
-        quiet: bool = True,
     ) -> None:
-        super().__init__(address, _Handler)
         self.engine = engine
         self.batcher = MicroBatcher(
             engine, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
         )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "EngineBackend":
+        self.batcher.start()
+        return self
+
+    def stop(self) -> None:
+        self.batcher.stop()
+
+    # -- serving -------------------------------------------------------
+
+    def submit(self, text: str, name: str = "",
+               timeout: Optional[float] = 30.0) -> ClassificationResult:
+        return self.batcher.submit(text, name=name, timeout=timeout)
+
+    @property
+    def pending_count(self) -> int:
+        return self.batcher.pending_count
+
+    # -- observability -------------------------------------------------
+
+    @property
+    def metrics(self):
+        return self.engine.metrics
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        return self.engine.metrics.snapshot()
+
+    def describe_model(self) -> str:
+        info = self.engine.model_info
+        return info.describe() if info is not None else "in-process"
+
+    @property
+    def family_names(self):
+        return self.engine.family_names
+
+    def batching_info(self) -> Dict[str, Any]:
+        return {
+            "max_batch_size": self.batcher.max_batch_size,
+            "max_wait_ms": self.batcher.max_wait_ms,
+        }
+
+
+class ClassificationServer(ThreadingHTTPServer):
+    """HTTP server over a serving backend (engine pair or fleet)."""
+
+    # Restart/rollout cycles must rebind immediately; without this a
+    # lingering TIME_WAIT socket from the previous incarnation fails the
+    # bind and turns every redeploy into a coin flip.
+    allow_reuse_address = True
+
+    # Handler threads are non-daemon and joined by server_close(), so an
+    # ordered shutdown lets in-flight requests finish with real answers
+    # instead of dying mid-write with the process.
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        backend,
+        request_timeout: float = 60.0,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.backend = backend
         self.request_timeout = request_timeout
         self.quiet = quiet
         self.started_at = time.monotonic()
@@ -64,13 +142,26 @@ class ClassificationServer(ThreadingHTTPServer):
     def port(self) -> int:
         return self.server_address[1]
 
+    # Back-compat accessors for callers written against the PR-4 server.
+    @property
+    def engine(self) -> Optional[InferenceEngine]:
+        return getattr(self.backend, "engine", None)
+
+    @property
+    def batcher(self) -> Optional[MicroBatcher]:
+        return getattr(self.backend, "batcher", None)
+
     def __enter__(self) -> "ClassificationServer":
-        self.batcher.start()
+        self.backend.start()
         return self
 
     def __exit__(self, *exc_info) -> None:
+        # Ordered drain: (1) stop accepting new connections, (2) let the
+        # backend finish every queued batch (handler threads parked in
+        # submit() get their results and write their responses), (3)
+        # join handler threads and close the socket.
         self.shutdown()
-        self.batcher.stop()
+        self.backend.stop()
         self.server_close()
 
     def serve(self) -> None:
@@ -88,12 +179,29 @@ def build_server(
     request_timeout: float = 60.0,
     quiet: bool = True,
 ) -> ClassificationServer:
-    """A configured (not yet started) server; ``port=0`` picks a free one."""
+    """A single-process server (not yet started); ``port=0`` = any free."""
+    backend = EngineBackend(
+        engine, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
+    )
     return ClassificationServer(
         (host, port),
-        engine,
-        max_batch_size=max_batch_size,
-        max_wait_ms=max_wait_ms,
+        backend,
+        request_timeout=request_timeout,
+        quiet=quiet,
+    )
+
+
+def build_fleet_server(
+    dispatcher,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    request_timeout: float = 60.0,
+    quiet: bool = True,
+) -> ClassificationServer:
+    """A server fronting a :class:`~repro.serve.fleet.FleetDispatcher`."""
+    return ClassificationServer(
+        (host, port),
+        dispatcher,
         request_timeout=request_timeout,
         quiet=quiet,
     )
@@ -102,20 +210,37 @@ def build_server(
 class _Handler(BaseHTTPRequestHandler):
     server: ClassificationServer
 
+    #: Socket inactivity limit so a stalled client cannot pin a
+    #: (non-daemon) handler thread past shutdown.
+    timeout = 30.0
+
     # -- routing -------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         if self.path == "/healthz":
             self._send(200, self._health_payload())
         elif self.path == "/metrics":
-            self._send(200, self.server.engine.metrics.snapshot())
+            self._send(200, self.server.backend.metrics_snapshot())
+        elif self.path == "/rollout/status":
+            self._rollout_status()
         else:
             self._send(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-        if self.path != "/classify":
+        if self.path == "/classify":
+            self._classify()
+        elif self.path == "/rollout/start":
+            self._rollout_start()
+        elif self.path == "/rollout/promote":
+            self._rollout_action("promote")
+        elif self.path == "/rollout/rollback":
+            self._rollout_action("rollback")
+        else:
             self._send(404, {"error": f"unknown path {self.path!r}"})
-            return
+
+    # -- /classify -----------------------------------------------------
+
+    def _classify(self) -> None:
         started = time.perf_counter()
         body, error = self._read_json()
         if error is not None:
@@ -134,36 +259,109 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(400, {"error": "'name' must be a string"})
             return
         try:
-            result = self.server.batcher.submit(
+            result = self.server.backend.submit(
                 text, name=name, timeout=self.server.request_timeout
             )
         except ServeError as exc:
-            # Queue timeout or a stopping batcher: the service (not the
+            # Queue timeout or a stopping backend: the service (not the
             # sample) is the problem, so 503 rather than 422.
             self._send(503, {"error": str(exc)})
             return
-        self.server.engine.metrics.observe_stage(
+        self.server.backend.metrics.observe_stage(
             "request", time.perf_counter() - started
         )
         status, payload = _result_payload(result)
         self._send(status, payload)
 
+    # -- /rollout/* ----------------------------------------------------
+
+    def _fleet_backend(self):
+        backend = self.server.backend
+        if not hasattr(backend, "start_rollout"):
+            self._send(
+                409,
+                {"error": "rollout requires fleet mode; restart the "
+                          "service with --workers N (N >= 1)"},
+            )
+            return None
+        return backend
+
+    def _rollout_status(self) -> None:
+        backend = self._fleet_backend()
+        if backend is None:
+            return
+        status = backend.rollout_status()
+        if status is None:
+            self._send(404, {"error": "no rollout has been started"})
+        else:
+            self._send(200, status)
+
+    def _rollout_start(self) -> None:
+        backend = self._fleet_backend()
+        if backend is None:
+            return
+        body, error = self._read_json()
+        if error is not None:
+            self._send(400, {"error": error})
+            return
+        version = body.get("version")
+        if not isinstance(version, str) or not version:
+            self._send(400, {"error": "request body must carry the "
+                                      "candidate 'version' string"})
+            return
+        from repro.serve.rollout import RolloutConfig
+
+        kwargs: Dict[str, Any] = {"version": version}
+        for field, caster in (
+            ("num_workers", int),
+            ("shadow_fraction", float),
+            ("min_samples", int),
+            ("min_parity", float),
+            ("max_latency_ratio", float),
+            ("auto", bool),
+        ):
+            if field in body:
+                try:
+                    kwargs[field] = caster(body[field])
+                except (TypeError, ValueError):
+                    self._send(400, {"error": f"invalid {field!r} value"})
+                    return
+        try:
+            config = RolloutConfig(**kwargs)
+            status = backend.start_rollout(config)
+        except (RolloutError, ServeError) as exc:
+            self._send(409, {"error": str(exc)})
+            return
+        self._send(200, status)
+
+    def _rollout_action(self, action: str) -> None:
+        backend = self._fleet_backend()
+        if backend is None:
+            return
+        try:
+            status = getattr(backend, action)()
+        except (RolloutError, ServeError) as exc:
+            self._send(409, {"error": str(exc)})
+            return
+        self._send(200, status)
+
     # -- helpers -------------------------------------------------------
 
     def _health_payload(self) -> dict:
-        info = self.server.engine.model_info
-        return {
+        backend = self.server.backend
+        payload = {
             "status": "ok",
-            "model": info.describe() if info is not None else "in-process",
-            "families": self.server.engine.family_names,
+            "model": backend.describe_model(),
+            "families": list(backend.family_names),
             "uptime_seconds": round(
                 time.monotonic() - self.server.started_at, 3
             ),
-            "batching": {
-                "max_batch_size": self.server.batcher.max_batch_size,
-                "max_wait_ms": self.server.batcher.max_wait_ms,
-            },
+            "batching": backend.batching_info(),
         }
+        if hasattr(backend, "fleet_snapshot"):
+            snapshot = backend.fleet_snapshot()
+            payload["workers"] = len(snapshot["workers"])
+        return payload
 
     def _read_json(self) -> Tuple[Optional[dict], Optional[str]]:
         try:

@@ -176,8 +176,28 @@ def _next_version_number(model_dir: str) -> int:
     return highest + 1
 
 
-def list_versions(root: str, name: str) -> List[str]:
-    """Published versions of ``name``, oldest first (``vN`` numerically)."""
+def _is_finalized(path: str) -> bool:
+    """Whether a version directory completed its atomic publish.
+
+    The manifest is written *inside* the staging directory before the
+    rename, so its presence in the final location is the publish
+    commit-mark.  A version directory without one is either a torn
+    publish that never renamed (staging dirs are dot-hidden, but a crash
+    between ``os.makedirs`` and ``os.rename`` can strand other debris)
+    or a hand-copied legacy directory — neither may win latest-version
+    resolution.
+    """
+    return os.path.exists(os.path.join(path, _ARCHIVE_MANIFEST))
+
+
+def list_versions(root: str, name: str,
+                  include_unfinalized: bool = False) -> List[str]:
+    """Published versions of ``name``, oldest first (``vN`` numerically).
+
+    Only finalized archives (manifest present) are listed unless
+    ``include_unfinalized`` is set, so ``version=None`` (latest)
+    resolution can never pick a partially-published directory.
+    """
     model_dir = os.path.join(os.path.abspath(root), name)
     if not os.path.isdir(model_dir):
         return []
@@ -185,6 +205,8 @@ def list_versions(root: str, name: str) -> List[str]:
         entry for entry in os.listdir(model_dir)
         if not entry.startswith(".")
         and os.path.isdir(os.path.join(model_dir, entry))
+        and (include_unfinalized
+             or _is_finalized(os.path.join(model_dir, entry)))
     ]
 
     def sort_key(version: str):
@@ -207,19 +229,56 @@ def list_models(root: str) -> List[str]:
     )
 
 
+def resolve_version(root: str, name: str,
+                    version: Optional[str] = None) -> str:
+    """Pin ``version=None`` to the latest *finalized* archive.
+
+    The fleet dispatcher resolves the version once in the parent and
+    ships the pinned string to every worker, so replicas spawned before
+    and after a concurrent publish still load the same model.
+    """
+    if version is not None:
+        return version
+    versions = list_versions(root, name)
+    if not versions:
+        raise RegistryError(
+            f"no published versions of {name!r} in registry {root}"
+        )
+    return versions[-1]
+
+
+def read_manifest(root: str, name: str, version: str) -> Dict:
+    """Read an archive's manifest without loading (or verifying) weights.
+
+    Lets the dispatcher learn a candidate's family table and config for
+    canary parity checks without paying a model load in the parent; full
+    integrity verification still happens inside each worker at load.
+    """
+    manifest_path = os.path.join(
+        os.path.abspath(root), name, version, _ARCHIVE_MANIFEST
+    )
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RegistryError(
+            f"cannot read archive manifest {manifest_path}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise RegistryError(
+            f"archive manifest {manifest_path} is not a JSON object"
+        )
+    return manifest
+
+
 def load(
     root: str,
     name: str,
     version: Optional[str] = None,
 ) -> LoadedModel:
-    """Load (and integrity-check) an archive; ``version=None`` = latest."""
-    if version is None:
-        versions = list_versions(root, name)
-        if not versions:
-            raise RegistryError(
-                f"no published versions of {name!r} in registry {root}"
-            )
-        version = versions[-1]
+    """Load (and integrity-check) an archive; ``version=None`` = latest
+    finalized archive (partially-published directories never resolve)."""
+    version = resolve_version(root, name, version)
     path = os.path.join(os.path.abspath(root), name, version)
     if not os.path.isdir(path):
         raise RegistryError(f"archive {name}@{version} not found at {path}")

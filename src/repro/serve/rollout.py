@@ -1,0 +1,291 @@
+"""Zero-downtime model rollout: shadow traffic, canary verdicts.
+
+Registry versioning (PR 4) made models immutable and addressable; this
+module makes a *new* version deployable without dropping traffic.  The
+:class:`RolloutController` runs the canary protocol on top of the fleet
+dispatcher (:mod:`repro.serve.fleet`):
+
+1. **Shadowing.**  Candidate ``vN+1`` workers are spawned beside the
+   serving ``vN`` set.  A deterministic, counter-based sampler mirrors a
+   configurable fraction of successful live requests to the candidate.
+   Shadow results are *never* returned to clients — the client got its
+   ``vN`` answer before the mirror copy was even enqueued.
+2. **Canary report.**  Every mirrored request contributes a label-parity
+   observation (do the two versions name the same family?) and a latency
+   pair (batch round-trip of the primary vs the shadow copy).
+3. **Verdict.**  Once ``min_samples`` mirrored requests complete, the
+   report is judged against ``min_parity`` and ``max_latency_ratio``.
+   In ``auto`` mode the dispatcher then *atomically promotes* (candidate
+   workers become the primary set, old primaries drain and retire) or
+   *rolls back* (candidate workers retire, ``vN`` never stopped
+   serving).  In manual mode the verdict parks in ``decided`` until an
+   operator calls promote/rollback.
+
+The controller owns no thread and no lock: every method is called by
+the dispatcher with the fleet lock held, which is what makes a
+promotion atomic with respect to routing — no request can be dispatched
+while the primary set is being swapped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.exceptions import RolloutError
+
+#: Bound on the per-side latency samples kept for the canary report.
+_LATENCY_WINDOW = 1024
+
+#: Rollout states.
+SHADOWING = "shadowing"
+DECIDED = "decided"          # manual mode: verdict ready, operator acts
+PROMOTED = "promoted"
+ROLLED_BACK = "rolled_back"
+
+
+@dataclasses.dataclass(frozen=True)
+class RolloutConfig:
+    """Canary thresholds and shadow sizing for one rollout."""
+
+    #: Candidate registry version (must be published and finalized).
+    version: str
+    #: Candidate replicas to spawn (defaults to the primary fleet size).
+    num_workers: Optional[int] = None
+    #: Fraction of successful live requests mirrored to the candidate.
+    shadow_fraction: float = 0.25
+    #: Mirrored completions required before a verdict.
+    min_samples: int = 50
+    #: Minimum label parity (matching family names / completions).
+    min_parity: float = 0.99
+    #: Maximum shadow-p50 / primary-p50 latency ratio.
+    max_latency_ratio: float = 5.0
+    #: Promote/rollback automatically at the verdict; manual otherwise.
+    auto: bool = True
+
+    def validate(self) -> None:
+        if not 0.0 < self.shadow_fraction <= 1.0:
+            raise RolloutError(
+                f"shadow_fraction must be in (0, 1], got {self.shadow_fraction}"
+            )
+        if self.min_samples < 1:
+            raise RolloutError(
+                f"min_samples must be >= 1, got {self.min_samples}"
+            )
+        if not 0.0 <= self.min_parity <= 1.0:
+            raise RolloutError(
+                f"min_parity must be in [0, 1], got {self.min_parity}"
+            )
+        if self.max_latency_ratio <= 0:
+            raise RolloutError(
+                f"max_latency_ratio must be > 0, got {self.max_latency_ratio}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise RolloutError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+
+
+class ShadowSampler:
+    """Deterministic mirror-rate sampler (no RNG, no wall clock).
+
+    The n-th eligible request is mirrored iff ``floor(n * f)`` advanced
+    past ``floor((n - 1) * f)`` — the classic error-diffusion rule, so a
+    fraction of ``0.25`` mirrors exactly every 4th request and a replay
+    of the same traffic makes the same choices.
+    """
+
+    def __init__(self, fraction: float) -> None:
+        self.fraction = fraction
+        self._seen = 0
+
+    def select(self) -> bool:
+        self._seen += 1
+        threshold = self.fraction * self._seen
+        previous = self.fraction * (self._seen - 1)
+        return int(threshold) > int(previous)
+
+
+def _p50(samples: Deque[float]) -> Optional[float]:
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+class CanaryReport:
+    """Accumulated parity + latency evidence for one candidate."""
+
+    def __init__(self) -> None:
+        self.mirrored = 0          # mirror copies enqueued
+        self.completed = 0         # mirror copies answered (ok or failed)
+        self.matches = 0           # family name agreed with the primary
+        self.mismatches = 0        # family name disagreed
+        self.shadow_failures = 0   # candidate failed a sample the primary aced
+        self.primary_latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self.shadow_latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+
+    @property
+    def parity(self) -> Optional[float]:
+        """Matching fraction over completions (failures count against)."""
+        if self.completed == 0:
+            return None
+        return self.matches / self.completed
+
+    @property
+    def latency_ratio(self) -> Optional[float]:
+        shadow = _p50(self.shadow_latencies)
+        primary = _p50(self.primary_latencies)
+        if shadow is None or primary is None or primary <= 0:
+            return None
+        return shadow / primary
+
+    def snapshot(self) -> Dict:
+        return {
+            "mirrored": self.mirrored,
+            "completed": self.completed,
+            "matches": self.matches,
+            "mismatches": self.mismatches,
+            "shadow_failures": self.shadow_failures,
+            "parity": self.parity,
+            "latency_ratio": self.latency_ratio,
+            "primary_p50_ms": _ms(_p50(self.primary_latencies)),
+            "shadow_p50_ms": _ms(_p50(self.shadow_latencies)),
+        }
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1000.0, 3)
+
+
+class RolloutController:
+    """State machine for one candidate version's canary run.
+
+    Not thread-safe on its own — the fleet dispatcher calls every method
+    with its lock held (see the module docstring), so promotion swaps
+    the primary set atomically with respect to request routing.
+    """
+
+    def __init__(self, config: RolloutConfig,
+                 candidate_families: List[str]) -> None:
+        config.validate()
+        self.config = config
+        self.candidate_families = candidate_families
+        self.report = CanaryReport()
+        self.sampler = ShadowSampler(config.shadow_fraction)
+        self.state = SHADOWING
+        self.verdict: Optional[str] = None  # "promote" | "rollback"
+        self.reason: Optional[str] = None
+
+    # -- shadow traffic ------------------------------------------------
+
+    def should_mirror(self) -> bool:
+        """Whether the next successful live request gets a mirror copy."""
+        if self.state != SHADOWING:
+            return False
+        return self.sampler.select()
+
+    def record_mirrored(self) -> None:
+        self.report.mirrored += 1
+
+    def record_shadow_result(
+        self,
+        primary_family: Optional[str],
+        shadow_family: Optional[str],
+        shadow_ok: bool,
+        primary_latency: float,
+        shadow_latency: float,
+    ) -> None:
+        """One mirror copy came back; fold it into the report."""
+        report = self.report
+        report.completed += 1
+        report.primary_latencies.append(primary_latency)
+        report.shadow_latencies.append(shadow_latency)
+        if not shadow_ok:
+            report.shadow_failures += 1
+            report.mismatches += 1
+        elif shadow_family == primary_family:
+            report.matches += 1
+        else:
+            report.mismatches += 1
+
+    def record_shadow_loss(self) -> None:
+        """A mirror copy was lost to a worker crash/timeout (no result).
+
+        Counted as a completion *and* a failure: a candidate that cannot
+        stay up under its shadow share must not be promoted.
+        """
+        self.report.completed += 1
+        self.report.shadow_failures += 1
+        self.report.mismatches += 1
+
+    # -- verdict -------------------------------------------------------
+
+    def evaluate(self) -> Optional[str]:
+        """Judge the report once enough evidence accumulated.
+
+        Returns ``"promote"`` / ``"rollback"`` exactly once (state moves
+        to ``decided``); ``None`` while evidence is still accumulating
+        or after the verdict was already delivered.
+        """
+        if self.state != SHADOWING:
+            return None
+        if self.report.completed < self.config.min_samples:
+            return None
+        parity = self.report.parity
+        ratio = self.report.latency_ratio
+        if parity is not None and parity < self.config.min_parity:
+            self.verdict = "rollback"
+            self.reason = (
+                f"label parity {parity:.4f} below the "
+                f"{self.config.min_parity} canary threshold"
+            )
+        elif ratio is not None and ratio > self.config.max_latency_ratio:
+            self.verdict = "rollback"
+            self.reason = (
+                f"shadow/primary p50 latency ratio {ratio:.2f} above the "
+                f"{self.config.max_latency_ratio} canary threshold"
+            )
+        else:
+            self.verdict = "promote"
+            self.reason = (
+                f"label parity {parity if parity is None else round(parity, 4)} "
+                f"and latency ratio {ratio if ratio is None else round(ratio, 2)} "
+                "within canary thresholds"
+            )
+        self.state = DECIDED
+        return self.verdict
+
+    def mark_promoted(self) -> None:
+        if self.state not in (SHADOWING, DECIDED):
+            raise RolloutError(
+                f"cannot promote a rollout in state {self.state!r}"
+            )
+        self.state = PROMOTED
+
+    def mark_rolled_back(self) -> None:
+        if self.state not in (SHADOWING, DECIDED):
+            raise RolloutError(
+                f"cannot roll back a rollout in state {self.state!r}"
+            )
+        self.state = ROLLED_BACK
+
+    @property
+    def active(self) -> bool:
+        """Still shadowing or awaiting an operator decision."""
+        return self.state in (SHADOWING, DECIDED)
+
+    def status(self) -> Dict:
+        return {
+            "state": self.state,
+            "version": self.config.version,
+            "shadow_fraction": self.config.shadow_fraction,
+            "min_samples": self.config.min_samples,
+            "min_parity": self.config.min_parity,
+            "max_latency_ratio": self.config.max_latency_ratio,
+            "auto": self.config.auto,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "report": self.report.snapshot(),
+        }

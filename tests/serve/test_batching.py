@@ -1,6 +1,7 @@
 """MicroBatcher tests: coalescing, equivalence, isolation, lifecycle."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -85,6 +86,42 @@ class TestCoalescing:
                 assert batcher.submit(text, name=name).ok
         histogram = engine.metrics.snapshot()["batches"]["size_histogram"]
         assert histogram == {"1": 3}
+
+    def test_window_closes_early_when_no_more_waiters_can_arrive(
+        self, engine, listing_samples
+    ):
+        """A lone request must not sit out the full wait window.
+
+        The queue already holds every submitted-but-unanswered request,
+        so the collector closes the window the moment ``len(queue) >=
+        waiters`` — waiting longer cannot grow the batch.  With a 400 ms
+        window, sequential submits would cost >= 400 ms each without the
+        early close; with it, p50 latency stays far below the window.
+        """
+        samples = listing_samples[:5]
+        latencies = []
+        with MicroBatcher(engine, max_batch_size=8,
+                          max_wait_ms=400.0) as batcher:
+            for name, text in samples:
+                started = time.perf_counter()
+                assert batcher.submit(text, name=name).ok
+                latencies.append(time.perf_counter() - started)
+        p50 = sorted(latencies)[len(latencies) // 2]
+        assert p50 < 0.2, (
+            f"p50 latency {p50:.3f}s suggests lone requests waited out "
+            "the 400 ms batching window"
+        )
+        # Early close did not fabricate batches: each request was alone.
+        histogram = engine.metrics.snapshot()["batches"]["size_histogram"]
+        assert histogram == {"1": len(samples)}
+
+    def test_pending_count_tracks_unanswered_requests(
+        self, engine, listing_samples
+    ):
+        with MicroBatcher(engine, max_wait_ms=0.0) as batcher:
+            assert batcher.pending_count == 0
+            assert batcher.submit(listing_samples[0][1], name="one").ok
+            assert batcher.pending_count == 0
 
     def test_max_batch_size_caps_coalescing(self, engine, listing_samples):
         samples = listing_samples[:6]

@@ -1,0 +1,207 @@
+"""Tests for the multi-process serving fleet (`repro.serve.fleet`)."""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FleetError, ServeError, WorkerStartupError
+from repro.serve import FleetDispatcher, InferenceEngine
+from repro.testing.faults import FaultPlan
+
+from tests.serve.conftest import MODEL_NAME
+
+
+@pytest.fixture(scope="module")
+def fleet(registry_root):
+    """One 2-worker fleet shared by the read-only routing tests."""
+    dispatcher = FleetDispatcher(
+        registry_root, MODEL_NAME, num_workers=2,
+        batch_timeout=60.0, cache_size=0,
+    )
+    with dispatcher:
+        yield dispatcher
+
+
+def _hammer(dispatcher, samples, count, results, errors):
+    for i in range(count):
+        name, text = samples[i % len(samples)]
+        try:
+            results.append(dispatcher.submit(text, name=name, timeout=60.0))
+        except ServeError as exc:  # collected, not raised: thread context
+            errors.append(exc)
+
+
+class TestRouting:
+    def test_concurrent_traffic_spreads_over_workers(
+        self, fleet, listing_samples
+    ):
+        results, errors = [], []
+        threads = [
+            threading.Thread(
+                target=_hammer,
+                args=(fleet, listing_samples, 2, results, errors),
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 16 and all(r.ok for r in results)
+        workers = fleet.fleet_snapshot()["workers"]
+        assert len(workers) == 2
+        assert sum(w["served"] for w in workers) >= 16
+        assert all(w["served"] > 0 for w in workers)
+
+    def test_bit_for_bit_parity_with_single_process_engine(
+        self, fleet, registry_root, listing_samples
+    ):
+        engine = InferenceEngine.from_registry(
+            registry_root, MODEL_NAME, cache_size=0
+        )
+        for name, text in listing_samples:
+            # Sequential submits make singleton batches on both paths, so
+            # the forwards are shape-identical and must agree to the bit.
+            expected = engine.classify_text(text, name=name)
+            result = fleet.submit(text, name=name, timeout=60.0)
+            assert result.ok and expected.ok
+            assert result.family == expected.family
+            assert result.label == expected.label
+            np.testing.assert_array_equal(
+                result.probabilities, expected.probabilities
+            )
+
+    def test_bad_listing_fails_alone_with_structured_kind(self, fleet):
+        result = fleet.submit("", name="empty")
+        assert not result.ok
+        assert result.failure.kind.value == "parse"
+
+    def test_metrics_snapshot_carries_fleet_section(self, fleet):
+        snapshot = fleet.metrics_snapshot()
+        assert "requests" in snapshot  # the ServeMetrics half
+        section = snapshot["fleet"]
+        assert section["model"] == f"{MODEL_NAME}@v1"
+        assert {w["state"] for w in section["workers"]} <= {
+            "starting", "ready", "failed"
+        }
+        for worker in section["workers"]:
+            assert set(worker) >= {
+                "pid", "role", "state", "busy", "served", "batches",
+                "respawns", "retries",
+            }
+
+    def test_health_surface(self, fleet):
+        assert fleet.describe_model() == f"{MODEL_NAME}@v1"
+        assert fleet.batching_info()["max_batch_size"] == fleet.max_batch_size
+        assert fleet.pending_count == 0
+
+
+class TestSupervision:
+    def test_killed_worker_respawns_and_requests_survive(
+        self, registry_root, listing_samples
+    ):
+        dispatcher = FleetDispatcher(
+            registry_root, MODEL_NAME, num_workers=2,
+            batch_timeout=60.0, cache_size=0,
+        )
+        with dispatcher:
+            results, errors = [], []
+            threads = [
+                threading.Thread(
+                    target=_hammer,
+                    args=(dispatcher, listing_samples, 6, results, errors),
+                )
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            victim = dispatcher.fleet_snapshot()["workers"][0]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert len(results) == 24
+            # The kill cost nobody an answer: at worst a retry, and the
+            # in-flight batch is retried once on a live replica.
+            assert all(r.ok for r in results)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                workers = dispatcher.fleet_snapshot()["workers"]
+                if sum(w["respawns"] for w in workers) >= 1:
+                    break
+                time.sleep(0.05)
+            assert sum(w["respawns"] for w in workers) >= 1
+            assert all(w["state"] != "failed" for w in workers)
+
+    def test_hung_worker_is_killed_at_the_batch_deadline(
+        self, registry_root, listing_samples
+    ):
+        plan = FaultPlan.build(hang_on=[0], hang_seconds=3600.0)
+        dispatcher = FleetDispatcher(
+            registry_root, MODEL_NAME, num_workers=1,
+            batch_timeout=1.0, cache_size=0, fault_plan=plan,
+        )
+        name, text = listing_samples[0]
+        with dispatcher:
+            result = dispatcher.submit(text, name=name, timeout=30.0)
+            assert not result.ok
+            assert result.failure.kind.value == "timeout"
+            assert "batch deadline" in result.failure.detail
+            workers = dispatcher.fleet_snapshot()["workers"]
+            # Killed at the deadline on the first try and on the retry.
+            assert workers[0]["respawns"] >= 2
+
+    def test_startup_failure_is_loud(self, registry_root):
+        dispatcher = FleetDispatcher(
+            registry_root, MODEL_NAME, num_workers=1,
+            cache_size=-1,  # rejected by the engine inside the child
+        )
+        with pytest.raises(WorkerStartupError, match="cache_size"):
+            dispatcher.start()
+        assert not dispatcher.running
+
+
+class TestLifecycle:
+    def test_zero_workers_is_rejected(self, registry_root):
+        with pytest.raises(FleetError, match="num_workers"):
+            FleetDispatcher(registry_root, MODEL_NAME, num_workers=0)
+
+    def test_submit_before_start_raises(self, registry_root):
+        dispatcher = FleetDispatcher(registry_root, MODEL_NAME, num_workers=1)
+        with pytest.raises(ServeError, match="not accepting"):
+            dispatcher.submit("irrelevant", name="x")
+
+    def test_stop_drains_queued_requests(self, registry_root,
+                                         listing_samples):
+        dispatcher = FleetDispatcher(
+            registry_root, MODEL_NAME, num_workers=1, cache_size=0,
+        )
+        with dispatcher:
+            results, errors = [], []
+            threads = [
+                threading.Thread(
+                    target=_hammer,
+                    args=(dispatcher, listing_samples, 2, results, errors),
+                )
+                for _ in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+        # __exit__ ran stop(): accepting ended, but queued work finished.
+        for thread in threads:
+            thread.join()
+        accepted = len(results) + len(errors)
+        assert accepted == 6
+        assert all(r.ok for r in results)
+        # Any error must be the not-accepting refusal, never a dropped
+        # in-flight request.
+        assert all("not accepting" in str(e) for e in errors)
+
+    def test_double_start_rejected(self, fleet):
+        with pytest.raises(FleetError, match="already running"):
+            fleet.start()

@@ -8,10 +8,17 @@ import contextlib
 import http.client
 import json
 import threading
+import time
 
 import pytest
 
-from repro.serve import InferenceEngine, build_server
+from repro.serve import (
+    ClassificationServer,
+    FleetDispatcher,
+    InferenceEngine,
+    build_fleet_server,
+    build_server,
+)
 
 from tests.serve.conftest import MODEL_NAME
 
@@ -195,3 +202,142 @@ class TestEndpoints:
             assert request(
                 server, "POST", "/nope", payload={"asm": "x"}
             )[0] == 404
+
+    def test_rollout_endpoints_refuse_single_process_mode(self, engine):
+        with running_server(engine, max_wait_ms=0.0) as server:
+            for method, path in (
+                ("GET", "/rollout/status"),
+                ("POST", "/rollout/start"),
+                ("POST", "/rollout/promote"),
+                ("POST", "/rollout/rollback"),
+            ):
+                payload = {"version": "v2"} if path.endswith("start") else {}
+                status, body = request(server, method, path, payload=payload)
+                assert status == 409
+                assert "--workers" in body["error"]
+
+
+class TestRestartRebind:
+    def test_allow_reuse_address_is_pinned_on(self):
+        # The restart-rebind contract lives on the class so every server
+        # (CLI, tests, fleet mode) gets it — not a per-instance flag.
+        assert ClassificationServer.allow_reuse_address is True
+
+    def test_port_rebinds_immediately_after_shutdown(
+        self, engine, listing_samples
+    ):
+        name, text = listing_samples[0]
+        with running_server(engine, max_wait_ms=0.0) as server:
+            port = server.port
+            # Serve one real request so a connection socket actually
+            # cycled through this port before the restart.
+            status, _ = request(
+                server, "POST", "/classify",
+                payload={"name": name, "asm": text},
+            )
+            assert status == 200
+        # Rebinding the exact port right after close must not raise
+        # EADDRINUSE while the old sockets sit in TIME_WAIT.
+        with running_server(engine, port=port, max_wait_ms=0.0) as reborn:
+            assert reborn.port == port
+            assert request(reborn, "GET", "/healthz")[0] == 200
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_in_flight_requests(
+        self, registry_root, listing_samples
+    ):
+        """Requests accepted before shutdown still complete with 200."""
+        engine = InferenceEngine.from_registry(
+            registry_root, MODEL_NAME, cache_size=0
+        )
+        samples = listing_samples[:6]
+        # max_batch_size=1 serializes the forwards, so most requests are
+        # still queued inside the batcher when shutdown begins.
+        server = build_server(engine, max_batch_size=1, max_wait_ms=0.0)
+        statuses = [None] * len(samples)
+
+        def classify(index, name, text):
+            statuses[index], _ = request(
+                server, "POST", "/classify",
+                payload={"name": name, "asm": text},
+            )
+
+        clients = [
+            threading.Thread(target=classify, args=(i, name, text))
+            for i, (name, text) in enumerate(samples)
+        ]
+        with server:
+            thread = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+            thread.start()
+            for client in clients:
+                client.start()
+            # Wait until every request is either answered or sitting in
+            # the backend queue — i.e. all were accepted — then shut
+            # down while some are genuinely in flight.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                answered = sum(s is not None for s in statuses)
+                if answered + server.backend.pending_count >= len(samples):
+                    break
+                time.sleep(0.01)
+        thread.join(timeout=10)
+        for client in clients:
+            client.join(timeout=30)
+        # The ordered drain means nobody saw a torn connection or a 503.
+        assert statuses == [200] * len(samples)
+
+
+@contextlib.contextmanager
+def running_fleet_server(registry_root, **kwargs):
+    dispatcher = FleetDispatcher(
+        registry_root, MODEL_NAME, num_workers=2, cache_size=0,
+    )
+    server = build_fleet_server(dispatcher, **kwargs)
+    with server:
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+    thread.join(timeout=5)
+
+
+class TestFleetHTTP:
+    def test_fleet_surface_over_http(self, registry_root, listing_samples):
+        name, text = listing_samples[0]
+        with running_fleet_server(registry_root) as server:
+            status, health = request(server, "GET", "/healthz")
+            assert status == 200
+            assert health["model"] == f"{MODEL_NAME}@v1"
+            assert health["workers"] == 2
+
+            status, payload = request(
+                server, "POST", "/classify",
+                payload={"name": name, "asm": text},
+            )
+            assert status == 200
+            assert payload["family"] in health["families"]
+
+            status, metrics = request(server, "GET", "/metrics")
+            assert status == 200
+            assert metrics["fleet"]["model"] == f"{MODEL_NAME}@v1"
+            assert len(metrics["fleet"]["workers"]) == 2
+
+            # No rollout started yet.
+            status, body = request(server, "GET", "/rollout/status")
+            assert status == 404
+
+            # Unknown candidate version: refused, fleet unharmed.
+            status, body = request(
+                server, "POST", "/rollout/start",
+                payload={"version": "v99"},
+            )
+            assert status == 409
+            assert "v99" in body["error"]
+            assert request(server, "GET", "/healthz")[0] == 200
+
+            # Promote with nothing active: same story.
+            status, body = request(server, "POST", "/rollout/promote",
+                                   payload={})
+            assert status == 409
+            assert "no active rollout" in body["error"]

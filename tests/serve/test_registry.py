@@ -14,6 +14,8 @@ from repro.serve.registry import (
     load,
     load_archive,
     publish,
+    read_manifest,
+    resolve_version,
 )
 
 from tests.serve.conftest import MODEL_NAME
@@ -169,6 +171,53 @@ class TestIntegrity:
         )
         with pytest.raises(RegistryError, match="format_version"):
             load_archive(archive_path)
+
+
+class TestFinalization:
+    """Only finalized versions (manifest present) are servable.
+
+    A crashed or in-progress publish leaves a directory without
+    ``archive.json`` — the atomic-publish commit mark.  Version
+    resolution must never hand such a directory to a serving fleet.
+    """
+
+    @pytest.fixture()
+    def root_with_partial(self, tmp_path, tiny_magic):
+        root = str(tmp_path)
+        publish(tiny_magic, root, "demo")  # v1, finalized
+        partial = os.path.join(root, "demo", "v2")
+        os.makedirs(partial)
+        # Weights landed but the manifest (written last) never did.
+        with open(os.path.join(partial, "parameters.npz"), "wb") as handle:
+            handle.write(b"truncated publish")
+        return root
+
+    def test_list_versions_skips_unfinalized(self, root_with_partial):
+        assert list_versions(root_with_partial, "demo") == ["v1"]
+        assert list_versions(
+            root_with_partial, "demo", include_unfinalized=True
+        ) == ["v1", "v2"]
+
+    def test_resolve_version_defaults_to_latest_finalized(
+        self, root_with_partial
+    ):
+        assert resolve_version(root_with_partial, "demo") == "v1"
+        assert resolve_version(root_with_partial, "demo", "v1") == "v1"
+
+    def test_load_latest_ignores_the_partial_dir(self, root_with_partial):
+        assert load(root_with_partial, "demo").info.version == "v1"
+
+    def test_no_finalized_versions_is_loud(self, tmp_path, tiny_magic):
+        root = str(tmp_path)
+        publish(tiny_magic, root, "demo")
+        os.remove(os.path.join(root, "demo", "v1", "archive.json"))
+        with pytest.raises(RegistryError, match="no published versions"):
+            resolve_version(root, "demo")
+
+    def test_read_manifest_returns_family_table(self, registry_root):
+        manifest = read_manifest(registry_root, MODEL_NAME, "v1")
+        assert manifest["name"] == MODEL_NAME
+        assert len(manifest["family_names"]) > 0
 
 
 class TestLegacyArchives:

@@ -1,0 +1,141 @@
+"""Tests for the long-lived request-worker mode (`repro.workers.request`).
+
+The batch-mode pool keeps its existing coverage under
+``tests/features/``; these tests pin the request-serving contract the
+fleet dispatcher builds on: resolve-by-name entrypoints, readiness
+announcements, per-request fault reporting, and respawn-in-place.
+"""
+
+import os
+
+import pytest
+
+from repro.exceptions import WorkerError, WorkerStartupError
+from repro.workers import RequestWorker, WorkerReply, resolve_entrypoint
+
+ECHO = "tests.serve.test_workers:echo_service"
+
+
+class _Echo:
+    """Request handler used inside worker children."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+
+    def __call__(self, payload):
+        if payload == "boom":
+            raise ValueError("boom requested")
+        if payload == "die":
+            os._exit(23)
+        return f"{self.prefix}{payload}"
+
+
+def echo_service(prefix: str = ""):
+    return _Echo(prefix)
+
+
+def failing_service():
+    raise RuntimeError("refusing to initialize")
+
+
+NOT_CALLABLE = "not a factory"
+
+
+class TestResolveEntrypoint:
+    def test_resolves_module_colon_function(self):
+        factory = resolve_entrypoint(ECHO)
+        assert factory("x-")("hello") == "x-hello"
+
+    def test_rejects_malformed_spec(self):
+        with pytest.raises(WorkerError, match="module:function"):
+            resolve_entrypoint("no-colon-here")
+
+    def test_rejects_missing_attribute(self):
+        with pytest.raises(WorkerError, match="no attribute"):
+            resolve_entrypoint("tests.serve.test_workers:nonexistent")
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(WorkerError, match="not callable"):
+            resolve_entrypoint("tests.serve.test_workers:NOT_CALLABLE")
+
+
+class TestRequestWorker:
+    def test_serves_requests_until_stopped(self):
+        worker = RequestWorker("echo", ECHO, {"prefix": ">"})
+        worker.start(wait_ready=30.0)
+        try:
+            assert worker.ready and worker.alive
+            worker.send(1, "a")
+            worker.send(2, "b")
+            replies = {}
+            for _ in range(2):
+                reply = WorkerReply.from_message(worker.conn.recv())
+                replies[reply.request_id] = reply
+            assert replies[1].ok and replies[1].value == ">a"
+            assert replies[2].ok and replies[2].value == ">b"
+        finally:
+            exitcode = worker.stop()
+        assert exitcode == 0  # sentinel produced a clean exit
+
+    def test_handler_exception_is_a_reply_not_a_death(self):
+        worker = RequestWorker("echo", ECHO, {})
+        worker.start(wait_ready=30.0)
+        try:
+            worker.send(1, "boom")
+            reply = WorkerReply.from_message(worker.conn.recv())
+            assert not reply.ok
+            assert "boom requested" in reply.value
+            # The replica survived and keeps serving.
+            worker.send(2, "next")
+            reply = WorkerReply.from_message(worker.conn.recv())
+            assert reply.ok and reply.value == "next"
+        finally:
+            worker.stop()
+
+    def test_init_failure_raises_startup_error(self):
+        worker = RequestWorker(
+            "doomed", "tests.serve.test_workers:failing_service", {}
+        )
+        with pytest.raises(WorkerStartupError, match="refusing to initialize"):
+            worker.start(wait_ready=30.0)
+        assert not worker.alive
+
+    def test_crash_is_visible_as_pipe_eof(self):
+        worker = RequestWorker("echo", ECHO, {})
+        worker.start(wait_ready=30.0)
+        try:
+            worker.send(1, "die")
+            with pytest.raises((EOFError, OSError)):
+                while True:
+                    worker.conn.recv()
+        finally:
+            exitcode = worker.stop(kill=True)
+        assert exitcode == 23
+
+    def test_respawn_replaces_in_place_and_counts(self):
+        worker = RequestWorker("echo", ECHO, {"prefix": "r"})
+        worker.start(wait_ready=30.0)
+        try:
+            first_pid = worker.pid
+            worker.respawn(kill=True, wait_ready=30.0)
+            assert worker.respawns == 1
+            assert worker.pid != first_pid
+            worker.send(9, "back")
+            reply = WorkerReply.from_message(worker.conn.recv())
+            assert reply.ok and reply.value == "rback"
+        finally:
+            worker.stop()
+
+    def test_double_start_rejected(self):
+        worker = RequestWorker("echo", ECHO, {})
+        worker.start(wait_ready=30.0)
+        try:
+            with pytest.raises(WorkerError, match="already started"):
+                worker.start()
+        finally:
+            worker.stop()
+
+    def test_send_before_start_rejected(self):
+        worker = RequestWorker("echo", ECHO, {})
+        with pytest.raises(WorkerError, match="not started"):
+            worker.send(1, "x")

@@ -230,6 +230,47 @@ class TestClassify:
         )
         assert args.func is cmd_serve
         assert (args.port, args.max_batch_size, args.max_wait_ms) == (0, 8, 2.0)
+        # Single-process serving is the default: fleet mode is opt-in.
+        assert args.workers == 0
+
+    def test_serve_fleet_parser_wiring(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--registry", "r", "--model", "demo@v3",
+             "--workers", "4", "--batch-timeout", "15",
+             "--request-timeout", "45"]
+        )
+        assert (args.workers, args.batch_timeout, args.request_timeout) == (
+            4, 15.0, 45.0
+        )
+
+    def test_serve_fleet_requires_a_registry_model(self, listing_file,
+                                                   capsys):
+        # Fleet workers load replicas from the registry; a bare model
+        # directory cannot be fanned out.
+        assert main(["serve", "--model-dir", "somewhere",
+                     "--workers", "2"]) == 2
+        assert "registry" in capsys.readouterr().err.lower()
+
+    def test_rollout_parser_wiring(self):
+        from repro.cli import build_parser, cmd_rollout
+
+        args = build_parser().parse_args(
+            ["rollout", "start", "--version", "v2",
+             "--shadow-fraction", "0.5", "--min-samples", "10",
+             "--manual", "--url", "http://127.0.0.1:9000"]
+        )
+        assert args.func is cmd_rollout
+        assert args.action == "start"
+        assert (args.version, args.shadow_fraction, args.min_samples) == (
+            "v2", 0.5, 10
+        )
+        assert args.manual
+        for action in ("status", "promote", "rollback"):
+            assert build_parser().parse_args(
+                ["rollout", action]
+            ).action == action
 
 
 class TestSweep:
