@@ -168,7 +168,8 @@ def cmd_train(args: argparse.Namespace) -> int:
         train.acfgs,
         validation.acfgs,
         TrainingConfig(epochs=args.epochs, batch_size=10,
-                       learning_rate=3e-3, seed=args.seed),
+                       learning_rate=3e-3, compiled=args.compiled,
+                       seed=args.seed),
     )
     report = magic.evaluate(validation.acfgs)
     print(report.format_table())
@@ -189,7 +190,11 @@ def _serving_engine(args: argparse.Namespace):
     """Build the ``InferenceEngine`` shared by ``classify`` and ``serve``."""
     from repro.serve import InferenceEngine
 
-    kwargs = {"max_vertices": args.max_vertices}
+    kwargs = {
+        "max_vertices": args.max_vertices,
+        "compiled": args.compiled,
+        "infer_dtype": args.infer_dtype,
+    }
     if args.model_dir:
         return InferenceEngine.from_archive(args.model_dir, **kwargs)
     if not (args.registry and args.model):
@@ -256,6 +261,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_batch_size=args.max_batch_size,
             batch_timeout=args.batch_timeout,
             max_vertices=args.max_vertices,
+            compiled=args.compiled,
+            infer_dtype=args.infer_dtype,
         )
         server = build_fleet_server(
             dispatcher,
@@ -568,6 +575,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "this registry root")
     p_train.add_argument("--model-name",
                          help="registry model name (default: dataset name)")
+    p_train.add_argument("--compiled", action="store_true", default=True,
+                         help="capture/replay training batches through the "
+                              "tape engine (default; bit-exact with eager)")
+    p_train.add_argument("--no-compiled", dest="compiled",
+                         action="store_false",
+                         help="force the eager per-op training path")
     p_train.set_defaults(func=cmd_train)
 
     p_sweep = sub.add_parser(
@@ -629,6 +642,20 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--max-vertices", type=int, default=None,
                                 help="per-request graph size guard "
                                      "(oversize requests fail [oversize])")
+        sub_parser.add_argument("--compiled", action="store_true",
+                                default=True,
+                                help="serve forwards through the compiled "
+                                     "tape cache (default; float64 replay "
+                                     "is bit-exact with eager)")
+        sub_parser.add_argument("--no-compiled", dest="compiled",
+                                action="store_false",
+                                help="force the eager per-op forward path")
+        sub_parser.add_argument("--infer-dtype",
+                                choices=("float64", "float32"),
+                                default="float64",
+                                help="compiled inference precision; float32 "
+                                     "trades ~1e-6 relative error for speed "
+                                     "(requires --compiled)")
 
     p_classify = sub.add_parser(
         "classify",

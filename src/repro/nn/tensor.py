@@ -15,6 +15,11 @@ Design notes
   gradients back down to each parent's shape.
 * Gradients are plain ``numpy.ndarray``s stored on leaf (and, when
   requested, interior) tensors, mirroring PyTorch's ``.grad``.
+* Every op additionally stamps its output with a tape kind (``_op``) and
+  the static metadata a replay kernel needs (``_op_meta``) so that
+  :mod:`repro.nn.tape` can compile a recorded graph into a flat op list
+  without re-executing Python closures.  Ops built purely by composing
+  other ops (``mean``, ``max_pool1d``) need no kind of their own.
 """
 
 from __future__ import annotations
@@ -48,7 +53,17 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy array plus the bookkeeping for reverse-mode autodiff."""
 
-    __slots__ = ("data", "requires_grad", "grad", "_parents", "_grad_fn", "name")
+    __slots__ = (
+        "data",
+        "requires_grad",
+        "grad",
+        "_parents",
+        "_grad_fn",
+        "_op",
+        "_op_meta",
+        "_order_cache",
+        "name",
+    )
 
     def __init__(
         self,
@@ -63,6 +78,9 @@ class Tensor:
         self.grad: Optional[np.ndarray] = None
         self._parents: Tuple["Tensor", ...] = ()
         self._grad_fn: Optional[Callable[[np.ndarray], Sequence[Optional[np.ndarray]]]] = None
+        self._op: Optional[str] = None
+        self._op_meta: Optional[dict] = None
+        self._order_cache: Optional[List["Tensor"]] = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -73,12 +91,16 @@ class Tensor:
         data: np.ndarray,
         parents: Tuple["Tensor", ...],
         grad_fn: Callable[[np.ndarray], Sequence[Optional[np.ndarray]]],
+        op: Optional[str] = None,
+        meta: Optional[dict] = None,
     ) -> "Tensor":
         out = Tensor(data)
         if any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = parents
             out._grad_fn = grad_fn
+            out._op = op
+            out._op_meta = meta
         return out
 
     @property
@@ -105,7 +127,16 @@ class Tensor:
         return Tensor(self.data)
 
     def zero_grad(self) -> None:
-        self.grad = None
+        """Zero the gradient in place.
+
+        The gradient array is kept (and filled with zeros) rather than
+        dropped so that buffers referenced by compiled tape replays —
+        and by optimizers holding views — survive across steps without
+        reallocation.  A tensor that never received a gradient keeps
+        ``grad is None``.
+        """
+        if self.grad is not None:
+            self.grad.fill(0.0)
 
     def __repr__(self) -> str:
         flag = ", requires_grad=True" if self.requires_grad else ""
@@ -131,7 +162,12 @@ class Tensor:
                 f"gradient shape {grad.shape} does not match tensor shape {self.shape}"
             )
 
-        order = self._topological_order()
+        # The recorded graph is immutable once built, so repeated
+        # backward() calls over the same output (gradient accumulation)
+        # reuse the first walk instead of re-deriving it.
+        if self._order_cache is None:
+            self._order_cache = self._topological_order()
+        order = self._order_cache
         grads: dict[int, np.ndarray] = {id(self): grad}
         for node in order:
             node_grad = grads.pop(id(node), None)
@@ -140,7 +176,9 @@ class Tensor:
             if node.grad is None:
                 node.grad = node_grad.copy()
             else:
-                node.grad = node.grad + node_grad
+                # In-place accumulation: `.grad` buffers persist across
+                # steps (see zero_grad) instead of being reallocated.
+                node.grad += node_grad
             if node._grad_fn is None:
                 continue
             parent_grads = node._grad_fn(node_grad)
@@ -189,7 +227,7 @@ class Tensor:
                 _unbroadcast(grad, other.data.shape),
             )
 
-        return Tensor._make(out_data, (self, other), grad_fn)
+        return Tensor._make(out_data, (self, other), grad_fn, op="add")
 
     __radd__ = __add__
 
@@ -197,7 +235,7 @@ class Tensor:
         def grad_fn(grad: np.ndarray):
             return (-grad,)
 
-        return Tensor._make(-self.data, (self,), grad_fn)
+        return Tensor._make(-self.data, (self,), grad_fn, op="neg")
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
@@ -209,7 +247,7 @@ class Tensor:
                 _unbroadcast(-grad, other.data.shape),
             )
 
-        return Tensor._make(out_data, (self, other), grad_fn)
+        return Tensor._make(out_data, (self, other), grad_fn, op="sub")
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return self._coerce(other) - self
@@ -224,7 +262,7 @@ class Tensor:
                 _unbroadcast(grad * self.data, other.data.shape),
             )
 
-        return Tensor._make(out_data, (self, other), grad_fn)
+        return Tensor._make(out_data, (self, other), grad_fn, op="mul")
 
     __rmul__ = __mul__
 
@@ -241,7 +279,7 @@ class Tensor:
                 ),
             )
 
-        return Tensor._make(out_data, (self, other), grad_fn)
+        return Tensor._make(out_data, (self, other), grad_fn, op="div")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return self._coerce(other) / self
@@ -254,7 +292,9 @@ class Tensor:
         def grad_fn(grad: np.ndarray):
             return (grad * exponent * self.data ** (exponent - 1),)
 
-        return Tensor._make(out_data, (self,), grad_fn)
+        return Tensor._make(
+            out_data, (self,), grad_fn, op="pow", meta={"exponent": exponent}
+        )
 
     # ------------------------------------------------------------------
     # matrix ops
@@ -283,7 +323,7 @@ class Tensor:
                 grad_b = grad_b.reshape(b.shape)
             return (grad_a, grad_b)
 
-        return Tensor._make(out_data, (self, other), grad_fn)
+        return Tensor._make(out_data, (self, other), grad_fn, op="matmul")
 
     __matmul__ = matmul
 
@@ -295,7 +335,9 @@ class Tensor:
         def grad_fn(grad: np.ndarray):
             return (grad.transpose(inverse),)
 
-        return Tensor._make(out_data, (self,), grad_fn)
+        return Tensor._make(
+            out_data, (self,), grad_fn, op="transpose", meta={"order": tuple(order)}
+        )
 
     @property
     def T(self) -> "Tensor":
@@ -310,7 +352,9 @@ class Tensor:
         def grad_fn(grad: np.ndarray):
             return (grad.reshape(original),)
 
-        return Tensor._make(out_data, (self,), grad_fn)
+        return Tensor._make(
+            out_data, (self,), grad_fn, op="reshape", meta={"shape": tuple(shape)}
+        )
 
     def __getitem__(self, key) -> "Tensor":
         out_data = self.data[key]
@@ -321,7 +365,7 @@ class Tensor:
             np.add.at(full, key, grad)
             return (full,)
 
-        return Tensor._make(out_data, (self,), grad_fn)
+        return Tensor._make(out_data, (self,), grad_fn, op="getitem", meta={"key": key})
 
     # ------------------------------------------------------------------
     # reductions
@@ -341,7 +385,13 @@ class Tensor:
                     grad_expanded = np.expand_dims(grad_expanded, a)
             return (np.broadcast_to(grad_expanded, original_shape).copy(),)
 
-        return Tensor._make(out_data, (self,), grad_fn)
+        return Tensor._make(
+            out_data,
+            (self,),
+            grad_fn,
+            op="sum",
+            meta={"axis": axis, "keepdims": keepdims},
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -366,7 +416,13 @@ class Tensor:
             np.put_along_axis(grad_in, idx, grad_vals, axis)
             return (grad_in,)
 
-        return Tensor._make(out_data, (self,), grad_fn)
+        return Tensor._make(
+            out_data,
+            (self,),
+            grad_fn,
+            op="max",
+            meta={"axis": axis, "keepdims": keepdims},
+        )
 
     # ------------------------------------------------------------------
     # elementwise nonlinearities
@@ -377,7 +433,7 @@ class Tensor:
         def grad_fn(grad: np.ndarray):
             return (grad * mask,)
 
-        return Tensor._make(np.where(mask, self.data, 0.0), (self,), grad_fn)
+        return Tensor._make(np.where(mask, self.data, 0.0), (self,), grad_fn, op="relu")
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -385,7 +441,7 @@ class Tensor:
         def grad_fn(grad: np.ndarray):
             return (grad * (1.0 - out_data * out_data),)
 
-        return Tensor._make(out_data, (self,), grad_fn)
+        return Tensor._make(out_data, (self,), grad_fn, op="tanh")
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
@@ -393,7 +449,7 @@ class Tensor:
         def grad_fn(grad: np.ndarray):
             return (grad * out_data * (1.0 - out_data),)
 
-        return Tensor._make(out_data, (self,), grad_fn)
+        return Tensor._make(out_data, (self,), grad_fn, op="sigmoid")
 
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
@@ -401,13 +457,13 @@ class Tensor:
         def grad_fn(grad: np.ndarray):
             return (grad * out_data,)
 
-        return Tensor._make(out_data, (self,), grad_fn)
+        return Tensor._make(out_data, (self,), grad_fn, op="exp")
 
     def log(self) -> "Tensor":
         def grad_fn(grad: np.ndarray):
             return (grad / self.data,)
 
-        return Tensor._make(np.log(self.data), (self,), grad_fn)
+        return Tensor._make(np.log(self.data), (self,), grad_fn, op="log")
 
 
 # ----------------------------------------------------------------------
@@ -431,7 +487,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             pieces.append(grad[tuple(index)])
         return tuple(pieces)
 
-    return Tensor._make(out_data, tuple(tensors), grad_fn)
+    return Tensor._make(out_data, tuple(tensors), grad_fn, op="concat", meta={"axis": axis})
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -445,7 +501,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         pieces = np.split(grad, len(tensors), axis=axis)
         return tuple(np.squeeze(piece, axis=axis) for piece in pieces)
 
-    return Tensor._make(out_data, tuple(tensors), grad_fn)
+    return Tensor._make(out_data, tuple(tensors), grad_fn, op="stack", meta={"axis": axis})
 
 
 def gather_rows(tensor: Tensor, indices: np.ndarray) -> Tensor:
@@ -466,7 +522,9 @@ def gather_rows(tensor: Tensor, indices: np.ndarray) -> Tensor:
         np.add.at(grad_in, indices, grad)
         return (grad_in,)
 
-    return Tensor._make(out_data, (tensor,), grad_fn)
+    return Tensor._make(
+        out_data, (tensor,), grad_fn, op="gather", meta={"indices": indices}
+    )
 
 
 def pad_rows(tensor: Tensor, total_rows: int) -> Tensor:
@@ -485,4 +543,4 @@ def pad_rows(tensor: Tensor, total_rows: int) -> Tensor:
     def grad_fn(grad: np.ndarray):
         return (grad[:n],)
 
-    return Tensor._make(out_data, (tensor,), grad_fn)
+    return Tensor._make(out_data, (tensor,), grad_fn, op="pad_rows", meta={"rows": n})

@@ -95,6 +95,8 @@ def inference_service(
     max_vertices: Optional[int] = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
     fault_plan=None,
+    compiled: bool = True,
+    infer_dtype: str = "float64",
 ):
     """Entrypoint factory run *inside* each fleet worker process.
 
@@ -102,7 +104,9 @@ def inference_service(
     nothing callable crosses the pipe; the returned handler answers one
     ``[(name, text), ...]`` batch per message.  Loading goes through the
     registry, so every replica independently verifies the archive's
-    integrity before serving.
+    integrity before serving.  The compiled tape cache lives inside this
+    process, so a respawned worker simply re-captures on its first
+    batch of each shape.
     """
     engine = InferenceEngine.from_registry(
         root,
@@ -111,6 +115,8 @@ def inference_service(
         cache_size=cache_size,
         max_vertices=max_vertices,
         fault_plan=fault_plan,
+        compiled=compiled,
+        infer_dtype=infer_dtype,
     )
     return _InferenceHandler(engine)
 
@@ -208,6 +214,10 @@ class FleetDispatcher:
     max_vertices, cache_size, fault_plan:
         Forwarded into each worker's :class:`InferenceEngine`
         (``fault_plan`` exists for tests: deterministic hangs/crashes).
+    compiled, infer_dtype:
+        Forwarded into each worker's :class:`InferenceEngine`; the tape
+        cache is per-process, so respawned replicas re-capture on their
+        first batch of each shape.
     """
 
     def __init__(
@@ -223,12 +233,21 @@ class FleetDispatcher:
         cache_size: int = DEFAULT_CACHE_SIZE,
         fault_plan=None,
         metrics: Optional[ServeMetrics] = None,
+        compiled: bool = True,
+        infer_dtype: str = "float64",
     ) -> None:
         if num_workers < 1:
             raise FleetError(f"num_workers must be >= 1, got {num_workers}")
         if max_batch_size < 1:
             raise FleetError(
                 f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if infer_dtype != "float64" and not compiled:
+            # Fail fast in the parent: otherwise every replica would die
+            # at engine construction and surface as a startup timeout.
+            raise FleetError(
+                "float32 inference is implemented by the compiled tape only; "
+                "drop --no-compiled or use float64"
             )
         self.root = os.path.abspath(root)
         self.name = name
@@ -242,6 +261,8 @@ class FleetDispatcher:
         self.max_vertices = max_vertices
         self.cache_size = cache_size
         self.fault_plan = fault_plan
+        self.compiled = compiled
+        self.infer_dtype = infer_dtype
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self._lock = threading.Lock()
         self._queue: Deque[_FleetRequest] = deque()
@@ -365,6 +386,8 @@ class FleetDispatcher:
                 "max_vertices": self.max_vertices,
                 "cache_size": self.cache_size,
                 "fault_plan": self.fault_plan,
+                "compiled": self.compiled,
+                "infer_dtype": self.infer_dtype,
             },
         )
         worker.start(wait_ready=self.start_timeout)

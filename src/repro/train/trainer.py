@@ -10,17 +10,19 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.exceptions import TrainingDivergedError, TrainingError
+from repro.exceptions import CompilationError, TrainingDivergedError, TrainingError
 from repro.features.acfg import ACFG
 from repro.nn.clip import clip_grad_norm
 from repro.nn.layers import Module
 from repro.nn.loss import nll_loss
 from repro.nn.lr_scheduler import ReduceLROnPlateau
 from repro.nn.optim import Adam
+from repro.nn.tape import CompiledModel
 from repro.train.batching import BatchCollator, iterate_minibatches
 from repro.train.metrics import ClassificationReport, evaluate_predictions
 
@@ -53,6 +55,14 @@ class TrainingConfig:
     instead of ranking a NaN score — while ``False`` stops the run
     early, marks the divergence on the :class:`TrainingHistory`, and
     returns the best parameters seen so far.
+
+    ``compiled`` routes GraphBatch-capable models through the
+    :mod:`repro.nn.tape` replay engine: each distinct batch signature is
+    captured once (one eager pass) and replayed across epochs with
+    preallocated buffers.  Replay is bit-exact with the eager float64
+    path, so losses and final parameters are unchanged; a model the tape
+    cannot compile falls back to eager for the rest of the run with a
+    ``RuntimeWarning``.
     """
 
     epochs: int = 100
@@ -63,6 +73,7 @@ class TrainingConfig:
     lr_decay_patience: int = 2
     grad_clip_norm: Optional[float] = None
     halt_on_divergence: bool = True
+    compiled: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -119,6 +130,11 @@ class Trainer:
         #: :meth:`evaluate` so the fixed validation chunks collate once
         #: per fold instead of once per consumer.
         self.last_collator: Optional[BatchCollator] = None
+        #: The tape cache of the most recent ``train`` run (``None``
+        #: before training, with ``compiled=False``, or for models the
+        #: tape cannot record).  Post-training evaluation passes it back
+        #: into :meth:`evaluate` so validation chunks keep replaying.
+        self.last_compiled: Optional[CompiledModel] = None
 
     def train(
         self,
@@ -159,6 +175,13 @@ class Trainer:
         # miss, but the fixed validation chunks hit on every epoch.
         collator = _collator_for(model)
         self.last_collator = collator
+        # Tape replay needs the collated GraphBatch form; raw-ACFG
+        # models stay eager.  Training always compiles in float64, so
+        # replayed losses/gradients are bit-exact with the eager loop.
+        compiled: Optional[CompiledModel] = None
+        if config.compiled and collator is not None:
+            compiled = CompiledModel(model)
+        self.last_compiled = compiled
 
         for epoch in range(config.epochs):
             model.train(True)
@@ -169,21 +192,47 @@ class Trainer:
             )):
                 labels = np.array([acfg.label for acfg in batch], dtype=np.int64)
                 optimizer.zero_grad()
-                # "is not None", not truthiness: an empty collator has
-                # __len__() == 0 and would read as False before its
-                # first entry is cached.
-                log_probs = model(
-                    collator(batch) if collator is not None else batch
-                )
-                loss = nll_loss(log_probs, labels)
-                loss_value = loss.item()
+                if compiled is not None:
+                    try:
+                        log_prob_data = compiled.forward(collator(batch))  # type: ignore[misc]
+                    except CompilationError as exc:
+                        warnings.warn(
+                            f"compiled execution unavailable ({exc}); "
+                            "training falls back to the eager path",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        compiled = None
+                        self.last_compiled = None
+                if compiled is not None:
+                    # Mean NLL computed outside the tape; the picked-sum
+                    # times 1/n matches nll_loss's arithmetic bit for bit.
+                    rows = np.arange(len(labels))
+                    loss_value = float(
+                        -(log_prob_data[rows, labels].sum() * (1.0 / len(labels)))
+                    )
+                else:
+                    # "is not None", not truthiness: an empty collator
+                    # has __len__() == 0 and would read as False before
+                    # its first entry is cached.
+                    log_probs = model(
+                        collator(batch) if collator is not None else batch
+                    )
+                    loss = nll_loss(log_probs, labels)
+                    loss_value = loss.item()
                 if not np.isfinite(loss_value):
                     self._diverged(
                         "training loss is not finite",
                         history, epoch, batch_index, loss_value,
                     )
                     break
-                loss.backward()
+                if compiled is not None:
+                    # d(mean NLL)/d(log_probs): -1/n at the label column.
+                    seed = np.zeros_like(log_prob_data)
+                    seed[rows, labels] = -(1.0 / len(labels))
+                    compiled.backward(seed)
+                else:
+                    loss.backward()
                 if not self._gradients_finite(model):
                     self._diverged(
                         "gradients are not finite",
@@ -207,7 +256,7 @@ class Trainer:
 
             if validation_acfgs:
                 validation_loss = self.evaluate_loss(
-                    model, validation_acfgs, collator=collator
+                    model, validation_acfgs, collator=collator, compiled=compiled
                 )
                 history.validation_losses.append(validation_loss)
                 monitored = validation_loss
@@ -269,20 +318,32 @@ class Trainer:
         acfgs: Sequence[ACFG],
         batch_size: int = 64,
         collator: Optional[BatchCollator] = None,
+        compiled: Optional[CompiledModel] = None,
     ) -> np.ndarray:
         """Class probabilities over ``acfgs`` (gradient-free, eval mode).
 
         Chunks are collated into ``GraphBatch`` objects for models that
         accept them; pass a shared ``collator`` to reuse merged operators
         across repeated evaluations (the training loop does this for its
-        per-epoch validation pass).
+        per-epoch validation pass).  Pass a ``compiled`` tape cache to
+        replay the fixed chunk signatures instead of rebuilding the op
+        graph per call; float64 replay keeps the output bit-exact.
         """
         model.train(False)
         if collator is None:
             collator = _collator_for(model)
+        if collator is None:
+            compiled = None  # raw-ACFG models have no GraphBatch to replay
         chunks = []
         for start in range(0, len(acfgs), batch_size):
             batch = list(acfgs[start : start + batch_size])
+            if compiled is not None:
+                try:
+                    log_prob_data = compiled.infer(collator(batch))
+                    chunks.append(np.exp(log_prob_data))
+                    continue
+                except CompilationError:
+                    compiled = None
             log_probs = model(
                 collator(batch) if collator is not None else batch
             )
@@ -295,10 +356,13 @@ class Trainer:
         model: Module,
         acfgs: Sequence[ACFG],
         collator: Optional[BatchCollator] = None,
+        compiled: Optional[CompiledModel] = None,
     ) -> float:
         """Mean NLL of the true labels under the model."""
         labels = np.array([acfg.label for acfg in acfgs], dtype=np.int64)
-        probabilities = cls.predict_proba(model, acfgs, collator=collator)
+        probabilities = cls.predict_proba(
+            model, acfgs, collator=collator, compiled=compiled
+        )
         eps = 1e-15
         picked = np.clip(probabilities[np.arange(len(labels)), labels], eps, 1.0)
         return float(-np.log(picked).mean())
@@ -310,15 +374,18 @@ class Trainer:
         acfgs: Sequence[ACFG],
         family_names: Optional[Sequence[str]] = None,
         collator: Optional[BatchCollator] = None,
+        compiled: Optional[CompiledModel] = None,
     ) -> ClassificationReport:
         """Full precision/recall/F1/accuracy/log-loss report.
 
-        Pass the trainer's ``last_collator`` to reuse the validation
-        chunks' memoized ``GraphBatch`` operators instead of re-collating
-        them.
+        Pass the trainer's ``last_collator`` (and ``last_compiled``) to
+        reuse the validation chunks' memoized ``GraphBatch`` operators
+        and compiled tapes instead of re-collating and re-recording.
         """
         labels = np.array([acfg.label for acfg in acfgs], dtype=np.int64)
-        probabilities = cls.predict_proba(model, acfgs, collator=collator)
+        probabilities = cls.predict_proba(
+            model, acfgs, collator=collator, compiled=compiled
+        )
         return evaluate_predictions(
             labels,
             probabilities,

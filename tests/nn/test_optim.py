@@ -112,5 +112,9 @@ class TestAdam:
         p1, p2 = quadratic_param(), quadratic_param()
         p1.grad = np.ones(1)
         p2.grad = np.ones(1)
+        buffers = (p1.grad, p2.grad)
         Adam([p1, p2], lr=0.1).zero_grad()
-        assert p1.grad is None and p2.grad is None
+        # Cleared in place, not dropped: the arrays survive for tape
+        # replays and accumulate from zero on the next backward.
+        assert p1.grad is buffers[0] and p2.grad is buffers[1]
+        assert not p1.grad.any() and not p2.grad.any()

@@ -1,0 +1,257 @@
+"""Tests for the compiled tape execution engine (`repro.nn.tape`).
+
+The contract under test is the one DESIGN.md pins down: float64 replay
+is *bit-exact* with the eager path (forward, loss, and every parameter
+gradient), float32 is an opt-in inference-only mode with a documented
+tolerance, and the signature cache re-captures exactly when the batch
+shape/mode/dtype changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batched import GraphBatch
+from repro.core.dgcnn import POOLING_TYPES, ModelConfig, build_model
+from repro.exceptions import CompilationError, GradientError
+from repro.features.acfg import ACFG
+from repro.nn.loss import nll_loss
+from repro.nn.tape import CompiledModel, batch_signature
+from repro.train.trainer import Trainer, TrainingConfig
+
+NUM_ATTRIBUTES = 11
+NUM_CLASSES = 4
+#: Documented float32 tolerance (USAGE §14): a dozen fused layers of
+#: single-precision arithmetic on z-scored attributes stays well under
+#: 1e-4 absolute on the log-probabilities.
+FLOAT32_ATOL = 1e-4
+
+
+def random_acfg(rng, n, label=0):
+    adjacency = (rng.random((n, n)) < 0.3).astype(float)
+    np.fill_diagonal(adjacency, 0.0)
+    return ACFG(
+        adjacency=adjacency,
+        attributes=rng.standard_normal((n, NUM_ATTRIBUTES)),
+        label=label,
+    )
+
+
+def random_batch(rng, sizes=(3, 5, 2, 6)):
+    return GraphBatch([random_acfg(rng, n) for n in sizes])
+
+
+def small_config(pooling, dropout=0.0, seed=0):
+    return ModelConfig(
+        num_attributes=NUM_ATTRIBUTES,
+        num_classes=NUM_CLASSES,
+        pooling=pooling,
+        graph_conv_sizes=(8, 8),
+        sort_k=4,
+        amp_grid=(2, 2),
+        conv2d_channels=4,
+        conv1d_channels=(4, 8),
+        conv1d_kernel=3,
+        hidden_size=16,
+        dropout=dropout,
+        seed=seed,
+    )
+
+
+def eager_gradients(model, batch, labels):
+    """Eager forward+backward; returns (log_probs, {name: grad copy})."""
+    for param in model.parameters():
+        param.zero_grad()
+    log_probs = model(batch)
+    nll_loss(log_probs, labels).backward()
+    return log_probs.data, {
+        name: param.grad.copy()
+        for name, param in model.named_parameters()
+        if param.grad is not None
+    }
+
+
+def compiled_gradients(compiled, model, batch, labels):
+    """Compiled forward+backward mirroring the trainer's seed rule."""
+    for param in model.parameters():
+        param.zero_grad()
+    log_probs = compiled.forward(batch)
+    rows = np.arange(len(labels))
+    seed = np.zeros_like(log_probs)
+    seed[rows, labels] = -(1.0 / len(labels))
+    compiled.backward(seed)
+    return log_probs, {
+        name: param.grad.copy()
+        for name, param in model.named_parameters()
+        if param.grad is not None
+    }
+
+
+class TestFloat64Equivalence:
+    """Replay must be indistinguishable from eager — to the bit."""
+
+    @pytest.mark.parametrize("pooling", POOLING_TYPES)
+    def test_forward_bit_exact_on_capture_and_replay(self, pooling):
+        rng = np.random.default_rng(11)
+        model = build_model(small_config(pooling)).eval()
+        compiled = CompiledModel(model)
+        first, second = random_batch(rng), random_batch(rng)
+
+        captured = compiled.forward(first)
+        assert np.array_equal(captured, model(first).data)  # repro: allow[float-equality] — bit-exactness is the contract under test
+        replayed = compiled.forward(second)
+        assert np.array_equal(replayed, model(second).data)  # repro: allow[float-equality] — bit-exactness is the contract under test
+        stats = compiled.stats()
+        assert stats["captures"] == 1 and stats["replays"] == 1
+        assert stats["fused_ops"] > 0  # SpMM+ReLU / Linear+ReLU collapsed
+
+    @pytest.mark.parametrize("pooling", POOLING_TYPES)
+    def test_gradients_bit_exact_after_replay(self, pooling):
+        rng = np.random.default_rng(23)
+        eager_model = build_model(small_config(pooling)).eval()
+        compiled_model = build_model(small_config(pooling)).eval()
+        compiled = CompiledModel(compiled_model)
+        labels = np.array([0, 1, 2, 3])
+        batches = [random_batch(rng) for _ in range(2)]
+
+        for batch in batches:  # second iteration exercises replay-backward
+            _, expected = eager_gradients(eager_model, batch, labels)
+            _, actual = compiled_gradients(
+                compiled, compiled_model, batch, labels
+            )
+            assert expected.keys() == actual.keys()
+            for name in expected:
+                assert np.array_equal(actual[name], expected[name]), name  # repro: allow[float-equality] — bit-exactness is the contract under test
+
+    def test_training_mode_dropout_stream_is_preserved(self):
+        # Replay draws from the Dropout module's own rng, so a compiled
+        # run consumes the identical stream an eager run would have.
+        rng = np.random.default_rng(3)
+        eager_model = build_model(small_config("sort_conv1d", dropout=0.4))
+        compiled_model = build_model(small_config("sort_conv1d", dropout=0.4))
+        eager_model.train(True)
+        compiled_model.train(True)
+        compiled = CompiledModel(compiled_model)
+        labels = np.array([1, 3, 0, 2])
+        for batch in [random_batch(rng) for _ in range(3)]:
+            _, expected = eager_gradients(eager_model, batch, labels)
+            _, actual = compiled_gradients(
+                compiled, compiled_model, batch, labels
+            )
+            for name in expected:
+                assert np.array_equal(actual[name], expected[name]), name  # repro: allow[float-equality] — bit-exactness is the contract under test
+        assert compiled.stats()["replays"] == 2
+
+    def test_full_training_run_matches_eager(self):
+        rng = np.random.default_rng(5)
+        data = [
+            random_acfg(rng, int(rng.integers(3, 9)),
+                        label=int(rng.integers(0, NUM_CLASSES)))
+            for _ in range(20)
+        ]
+        histories, states = [], []
+        for compiled in (False, True):
+            model = build_model(small_config("adaptive", dropout=0.2))
+            trainer = Trainer(TrainingConfig(
+                epochs=3, batch_size=10, compiled=compiled, seed=9
+            ))
+            histories.append(trainer.train(model, data))
+            states.append(model.state_dict())
+        assert histories[0].train_losses == histories[1].train_losses  # repro: allow[float-equality] — bit-exactness is the contract under test
+        for name in states[0]:
+            assert np.array_equal(states[0][name], states[1][name]), name  # repro: allow[float-equality] — bit-exactness is the contract under test
+
+
+class TestFloat32Inference:
+    @pytest.mark.parametrize("pooling", POOLING_TYPES)
+    def test_within_documented_tolerance(self, pooling):
+        rng = np.random.default_rng(41)
+        model = build_model(small_config(pooling)).eval()
+        compiled = CompiledModel(model, dtype="float32")
+        for batch in [random_batch(rng) for _ in range(2)]:  # capture + replay
+            out = compiled.infer(batch)
+            assert out.dtype == np.float32
+            reference = model(batch).data
+            np.testing.assert_allclose(
+                out.astype(np.float64), reference, atol=FLOAT32_ATOL
+            )
+
+    def test_training_mode_is_rejected(self):
+        model = build_model(small_config("adaptive")).train(True)
+        compiled = CompiledModel(model, dtype="float32")
+        with pytest.raises(CompilationError):
+            compiled.forward(random_batch(np.random.default_rng(0)))
+
+    def test_backward_is_rejected(self):
+        rng = np.random.default_rng(1)
+        model = build_model(small_config("adaptive")).eval()
+        compiled = CompiledModel(model, dtype="float32")
+        out = compiled.infer(random_batch(rng))
+        with pytest.raises(GradientError):
+            compiled.backward(np.zeros_like(out, dtype=np.float64))
+
+    def test_parameter_update_invalidates_cast_cache(self):
+        # load_state_dict rebinds parameter arrays; the float32 leaf
+        # cache must notice and re-cast instead of serving stale casts.
+        rng = np.random.default_rng(2)
+        model = build_model(small_config("adaptive")).eval()
+        compiled = CompiledModel(model, dtype="float32")
+        batch = random_batch(rng)
+        before = compiled.infer(batch).copy()
+        state = {
+            key: value * 1.5 for key, value in model.state_dict().items()
+        }
+        model.load_state_dict(state)
+        after = compiled.infer(batch)
+        assert not np.array_equal(before, after)
+        np.testing.assert_allclose(
+            after.astype(np.float64), model(batch).data, atol=FLOAT32_ATOL
+        )
+
+
+class TestSignatureCache:
+    def test_signature_tracks_shape_mode_and_dtype(self):
+        rng = np.random.default_rng(13)
+        batch = random_batch(rng)
+        base = batch_signature(batch, False, np.dtype(np.float64))
+        assert base == batch_signature(batch, False, np.dtype(np.float64))
+        assert base != batch_signature(batch, True, np.dtype(np.float64))
+        assert base != batch_signature(batch, False, np.dtype(np.float32))
+        other = random_batch(rng, sizes=(3, 5, 2, 7))
+        assert base != batch_signature(other, False, np.dtype(np.float64))
+
+    def test_shape_change_recaptures_and_both_entries_replay(self):
+        rng = np.random.default_rng(17)
+        model = build_model(small_config("sort_weighted")).eval()
+        compiled = CompiledModel(model)
+        small, large = random_batch(rng), random_batch(rng, sizes=(4, 4, 4))
+        compiled.forward(small)
+        compiled.forward(large)  # different boundaries -> new capture
+        assert compiled.stats()["captures"] == 2
+        for batch in (random_batch(rng), random_batch(rng, sizes=(4, 4, 4))):
+            assert np.array_equal(compiled.forward(batch), model(batch).data)  # repro: allow[float-equality] — bit-exactness is the contract under test
+        assert compiled.stats()["replays"] == 2
+
+    def test_lru_eviction_is_bounded_and_recaptures(self):
+        rng = np.random.default_rng(19)
+        model = build_model(small_config("adaptive")).eval()
+        compiled = CompiledModel(model, max_entries=1)
+        a, b = random_batch(rng), random_batch(rng, sizes=(4, 4, 4))
+        compiled.forward(a)
+        compiled.forward(b)   # evicts a's tape
+        compiled.forward(a)   # re-captures, still correct
+        stats = compiled.stats()
+        assert stats["entries"] == 1
+        assert stats["captures"] == 3 and stats["evictions"] == 2
+        assert np.array_equal(compiled.forward(a), model(a).data)  # repro: allow[float-equality] — bit-exactness is the contract under test
+
+    def test_rejects_bad_configuration(self):
+        model = build_model(small_config("adaptive"))
+        with pytest.raises(CompilationError):
+            CompiledModel(model, dtype="float16")
+        with pytest.raises(CompilationError):
+            CompiledModel(model, max_entries=0)
+
+    def test_backward_before_forward_raises(self):
+        model = build_model(small_config("adaptive"))
+        with pytest.raises(GradientError):
+            CompiledModel(model).backward(np.zeros((1, NUM_CLASSES)))

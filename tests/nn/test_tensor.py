@@ -78,9 +78,18 @@ class TestBackwardMechanics:
         (x * 3).backward()
         np.testing.assert_allclose(x.grad, [5.0])
 
-    def test_zero_grad(self):
+    def test_zero_grad_fills_in_place(self):
         x = Tensor([1.0], requires_grad=True)
         (x * 2).backward()
+        buffer = x.grad
+        x.zero_grad()
+        # The array survives (tape replays hold references to it) and
+        # is zero-filled rather than dropped.
+        assert x.grad is buffer
+        np.testing.assert_array_equal(x.grad, [0.0])
+
+    def test_zero_grad_without_gradient_is_noop(self):
+        x = Tensor([1.0], requires_grad=True)
         x.zero_grad()
         assert x.grad is None
 

@@ -216,3 +216,76 @@ class TestArchiveSources:
         for result, row in zip(served, direct):
             assert result.label == int(row.argmax())
             np.testing.assert_array_equal(result.probabilities, row)
+
+
+class TestCompiledServing:
+    def test_compiled_output_equals_eager_engine(
+        self, registry_root, listing_samples
+    ):
+        # cache_size=0 so the second pass exercises a tape replay (and
+        # the scaled-ACFG + collator memos) instead of the result cache.
+        compiled = InferenceEngine.from_registry(
+            registry_root, MODEL_NAME, cache_size=0
+        )
+        eager = InferenceEngine.from_registry(
+            registry_root, MODEL_NAME, cache_size=0, compiled=False
+        )
+        for _ in range(2):
+            for expected, actual in zip(
+                eager.classify_texts(listing_samples[:4]),
+                compiled.classify_texts(listing_samples[:4]),
+            ):
+                assert actual.family == expected.family
+                np.testing.assert_array_equal(
+                    actual.probabilities, expected.probabilities
+                )
+        stats = compiled.compile_stats()
+        assert stats["captures"] >= 1 and stats["replays"] >= 1
+        assert eager.compile_stats() is None
+
+    def test_repeat_collations_hit_shared_memo(
+        self, registry_root, listing_samples
+    ):
+        engine = InferenceEngine.from_registry(
+            registry_root, MODEL_NAME, cache_size=0
+        )
+        engine.classify_texts(listing_samples[:3])
+        before = engine.collator_stats()
+        assert before["misses"] >= 1
+        # Same texts -> same cached scaled ACFG objects -> identity-keyed
+        # collator memo hit; no new merged operators are built.
+        engine.classify_texts(listing_samples[:3])
+        after = engine.collator_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_float32_dtype_close_to_float64(
+        self, registry_root, listing_samples
+    ):
+        reference = InferenceEngine.from_registry(
+            registry_root, MODEL_NAME, compiled=False
+        )
+        fast = InferenceEngine.from_registry(
+            registry_root, MODEL_NAME, infer_dtype="float32"
+        )
+        for expected, actual in zip(
+            reference.classify_texts(listing_samples[:4]),
+            fast.classify_texts(listing_samples[:4]),
+        ):
+            # Probabilities leave the boundary as float64 either way.
+            assert actual.probabilities.dtype == np.float64
+            np.testing.assert_allclose(
+                actual.probabilities, expected.probabilities, atol=1e-4
+            )
+            assert actual.family == expected.family
+
+    def test_invalid_dtype_combinations_rejected(self, registry_root):
+        with pytest.raises(ServeError, match="infer_dtype"):
+            InferenceEngine.from_registry(
+                registry_root, MODEL_NAME, infer_dtype="float16"
+            )
+        with pytest.raises(ServeError, match="compiled tape only"):
+            InferenceEngine.from_registry(
+                registry_root, MODEL_NAME,
+                compiled=False, infer_dtype="float32",
+            )

@@ -138,6 +138,54 @@ class TestSupervision:
             assert sum(w["respawns"] for w in workers) >= 1
             assert all(w["state"] != "failed" for w in workers)
 
+    def test_compiled_replay_survives_respawn(
+        self, registry_root, listing_samples
+    ):
+        """A respawned replica re-captures its tape and keeps answering
+        bit-identically (the compiled cache is per-process state, so a
+        SIGKILL must cost nothing but one re-capture per batch shape)."""
+        dispatcher = FleetDispatcher(
+            registry_root, MODEL_NAME, num_workers=1,
+            batch_timeout=60.0, cache_size=0,  # compiled=True is the default
+        )
+        name, text = listing_samples[0]
+        with dispatcher:
+            # Two sequential singleton submits: capture, then replay.
+            before = [
+                dispatcher.submit(text, name=name, timeout=60.0)
+                for _ in range(2)
+            ]
+            victim = dispatcher.fleet_snapshot()["workers"][0]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                workers = dispatcher.fleet_snapshot()["workers"]
+                if (workers[0]["respawns"] >= 1
+                        and workers[0]["state"] == "ready"):
+                    break
+                time.sleep(0.05)
+            after = [
+                dispatcher.submit(text, name=name, timeout=60.0)
+                for _ in range(2)
+            ]
+        assert dispatcher.fleet_snapshot  # dispatcher exited cleanly
+        for result in before + after:
+            assert result.ok
+        for result in after:
+            assert result.family == before[0].family
+            np.testing.assert_array_equal(
+                result.probabilities, before[0].probabilities
+            )
+
+    def test_float32_without_compiled_fails_fast_in_parent(
+        self, registry_root
+    ):
+        with pytest.raises(FleetError, match="compiled tape only"):
+            FleetDispatcher(
+                registry_root, MODEL_NAME, num_workers=1,
+                compiled=False, infer_dtype="float32",
+            )
+
     def test_hung_worker_is_killed_at_the_batch_deadline(
         self, registry_root, listing_samples
     ):
