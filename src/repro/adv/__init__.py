@@ -1,0 +1,53 @@
+"""Adversarial robustness workload for the MAGIC pipeline.
+
+Three coordinated pieces:
+
+* :mod:`repro.adv.attack` — gradient-guided *feature-space* PGD over
+  ACFG attributes, with every step projected back onto the ACFG semantic
+  invariants (:mod:`repro.features.validator`).
+* :mod:`repro.adv.asmattack` — *problem-space* attack that re-obfuscates
+  assembly listings through the synthetic generator's knobs and re-runs
+  the full extraction pipeline.
+* :mod:`repro.adv.report` — the per-family robustness report both
+  attacks (and ``benchmarks/bench_robustness.py``) aggregate into.
+
+Adversarial *training* lives in the trainer
+(:class:`repro.train.trainer.AdversarialConfig`), which reuses this
+package's inner attack.
+"""
+
+from repro.adv.asmattack import (
+    AsmAttackResult,
+    asm_attack_corpus,
+    asm_knob_attack,
+    default_knob_grid,
+)
+from repro.adv.attack import (
+    AttackConfig,
+    AttackOutcome,
+    AttackRecord,
+    FeatureSpaceAttack,
+    input_gradients,
+    perturb_batch_scaled,
+)
+from repro.adv.report import (
+    FamilyRobustness,
+    RobustnessReport,
+    build_robustness_report,
+)
+
+__all__ = [
+    "AsmAttackResult",
+    "AttackConfig",
+    "AttackOutcome",
+    "AttackRecord",
+    "FamilyRobustness",
+    "FeatureSpaceAttack",
+    "RobustnessReport",
+    "asm_attack_corpus",
+    "asm_knob_attack",
+    "build_robustness_report",
+    "default_knob_grid",
+    "input_gradients",
+    "perturb_batch_scaled",
+]

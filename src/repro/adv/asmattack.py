@@ -1,0 +1,161 @@
+"""Problem-space attack: re-obfuscate listings and re-extract ACFGs.
+
+The feature-space attack (:mod:`repro.adv.attack`) edits extracted
+attribute matrices directly — an upper bound no real adversary can reach,
+because they control the *binary*, not the features.  This module plays
+the realistic adversary: regenerate a corpus sample with different
+obfuscation knob settings (:class:`~repro.datasets.synthetic_asm.ObfuscationKnobs`
+— junk-code insertion, dispatch-table padding), push each variant through
+the normal parse → CFG → ACFG front end, and search the knob grid for a
+variant the trained classifier mislabels.
+
+Every adversarial example produced here is a *valid program listing* by
+construction, so problem-space success rates are comparable to (and
+bounded by) the feature-space ones in the robustness report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.mskcfg import generate_mskcfg_sample
+from repro.datasets.synthetic_asm import ObfuscationKnobs
+from repro.exceptions import ConfigurationError, MagicError
+
+if TYPE_CHECKING:  # circular at runtime: magic -> trainer -> adv
+    from repro.core.magic import Magic
+
+
+def default_knob_grid() -> List[ObfuscationKnobs]:
+    """Candidate re-obfuscations, ordered cheapest-first.
+
+    Junk-only settings come first (they keep the program's control-flow
+    skeleton bit-identical and only pad block bodies), then dispatch
+    padding, then combinations.  The greedy search returns the first
+    flip, so ordering by aggressiveness keeps perturbations minimal.
+    """
+    grid: List[ObfuscationKnobs] = [
+        ObfuscationKnobs(junk_probability=p) for p in (0.2, 0.4, 0.6, 0.8, 1.0)
+    ]
+    grid.extend(
+        ObfuscationKnobs(dispatch_probability=p, dispatch_fanout=(4, 8))
+        for p in (0.3, 0.6)
+    )
+    grid.extend(
+        ObfuscationKnobs(
+            junk_probability=1.0, dispatch_probability=p, dispatch_fanout=(4, 8)
+        )
+        for p in (0.3, 0.6)
+    )
+    return grid
+
+
+@dataclasses.dataclass
+class AsmAttackResult:
+    """Outcome of the knob search for one sample."""
+
+    name: str
+    family: str
+    label: int
+    clean_label: int
+    adversarial_label: int
+    #: Signed true-class margin ``p[label] - max(p[other])`` on the
+    #: clean sample and on the strongest variant found.
+    clean_margin: float
+    adversarial_margin: float
+    flipped: bool
+    #: The knob settings of the returned variant (``None`` when every
+    #: variant failed extraction, leaving only the clean sample).
+    knobs: Optional[ObfuscationKnobs]
+    #: Number of variants actually classified during the search.
+    attempts: int
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["knobs"] = self.knobs.to_dict() if self.knobs else None
+        return payload
+
+
+def _margin(probabilities: np.ndarray, label: int) -> float:
+    masked = probabilities.copy()
+    masked[label] = -np.inf
+    return float(probabilities[label] - masked.max())
+
+
+def asm_knob_attack(
+    magic: "Magic",
+    family: str,
+    index: int,
+    seed: int = 0,
+    grid: Optional[Sequence[ObfuscationKnobs]] = None,
+) -> AsmAttackResult:
+    """Greedy knob search over one corpus sample.
+
+    Regenerates sample ``(family, index)`` of the synthetic MSKCFG corpus
+    (bit-identical to the training corpus for the same ``seed``), then
+    walks ``grid`` in order re-obfuscating and re-classifying; the first
+    variant predicted as a different family wins.  If nothing flips, the
+    variant with the lowest true-class margin is reported — the most
+    damage this adversary could do.
+    """
+    candidates = list(grid) if grid is not None else default_knob_grid()
+    if not candidates:
+        raise ConfigurationError("asm_knob_attack needs a non-empty knob grid")
+
+    name, listing, label = generate_mskcfg_sample(family, index, seed=seed)
+    _, clean_probs = magic.classify_asm(listing, name=name)
+    clean_label = int(clean_probs.argmax())
+    clean_margin = _margin(clean_probs, label)
+
+    best_margin = clean_margin
+    best_label = clean_label
+    best_knobs: Optional[ObfuscationKnobs] = None
+    attempts = 0
+    for knobs in candidates:
+        _, variant, _ = generate_mskcfg_sample(
+            family, index, seed=seed, knobs=knobs
+        )
+        try:
+            _, adv_probs = magic.classify_asm(variant, name=name)
+        except MagicError:
+            # A knob setting can degenerate the listing past the front
+            # end (e.g. dispatch fanout exceeding the span); such
+            # variants simply are not viable adversarial examples.
+            continue
+        attempts += 1
+        adv_label = int(adv_probs.argmax())
+        adv_margin = _margin(adv_probs, label)
+        if adv_margin < best_margin:
+            best_margin = adv_margin
+            best_label = adv_label
+            best_knobs = knobs
+        if adv_label != label:
+            break
+    return AsmAttackResult(
+        name=name,
+        family=family,
+        label=label,
+        clean_label=clean_label,
+        adversarial_label=best_label,
+        clean_margin=clean_margin,
+        adversarial_margin=best_margin,
+        flipped=best_label != label,
+        knobs=best_knobs,
+        attempts=attempts,
+    )
+
+
+def asm_attack_corpus(
+    magic: "Magic",
+    coordinates: Sequence[Tuple[str, int]],
+    seed: int = 0,
+    grid: Optional[Sequence[ObfuscationKnobs]] = None,
+) -> List[AsmAttackResult]:
+    """Run :func:`asm_knob_attack` over ``(family, index)`` coordinates."""
+    return [
+        asm_knob_attack(magic, family, index, seed=seed, grid=grid)
+        for family, index in coordinates
+    ]

@@ -1,0 +1,169 @@
+"""Per-family robustness reporting.
+
+Aggregates clean-vs-attacked predictions into the robustness report the
+``repro.cli attack`` command prints and ``benchmarks/bench_robustness.py``
+persists: accuracy and mean true-class score margin per family on both
+sides of the attack, the attack success rate (flips among clean-correct
+samples), and the mean perturbation size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclasses.dataclass
+class FamilyRobustness:
+    """Clean-vs-attacked aggregate for one malware family."""
+
+    family: str
+    num_samples: int
+    clean_accuracy: float
+    adversarial_accuracy: float
+    #: Mean signed true-class margin ``p[label] - max(p[other])``.
+    clean_margin: float
+    adversarial_margin: float
+    #: Fraction of clean-correct samples the attack flipped.
+    attack_success_rate: float
+    #: Mean L-infinity perturbation (scaled feature space) of the
+    #: attacked samples; 0.0 when perturbation sizes were not tracked.
+    mean_perturbation: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class RobustnessReport:
+    """Whole-corpus robustness summary plus the per-family breakdown."""
+
+    families: List[FamilyRobustness]
+    clean_accuracy: float
+    adversarial_accuracy: float
+    attack_success_rate: float
+    mean_perturbation: float
+
+    @property
+    def accuracy_drop(self) -> float:
+        """Accuracy lost to the attack, in points of [0, 1] accuracy."""
+        return self.clean_accuracy - self.adversarial_accuracy
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "clean_accuracy": self.clean_accuracy,
+            "adversarial_accuracy": self.adversarial_accuracy,
+            "accuracy_drop": self.accuracy_drop,
+            "attack_success_rate": self.attack_success_rate,
+            "mean_perturbation": self.mean_perturbation,
+            "families": [family.to_dict() for family in self.families],
+        }
+
+    def format_table(self) -> str:
+        """Fixed-width table, one row per family plus an overall row."""
+        header = (
+            f"{'family':<16} {'n':>4} {'clean':>7} {'adv':>7} "
+            f"{'margin':>8} {'adv-mrg':>8} {'success':>8} {'pert':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.families:
+            lines.append(
+                f"{row.family:<16} {row.num_samples:>4} "
+                f"{row.clean_accuracy:>7.3f} {row.adversarial_accuracy:>7.3f} "
+                f"{row.clean_margin:>8.3f} {row.adversarial_margin:>8.3f} "
+                f"{row.attack_success_rate:>8.3f} {row.mean_perturbation:>6.2f}"
+            )
+        lines.append("-" * len(header))
+        total = sum(row.num_samples for row in self.families)
+        lines.append(
+            f"{'overall':<16} {total:>4} "
+            f"{self.clean_accuracy:>7.3f} {self.adversarial_accuracy:>7.3f} "
+            f"{'':>8} {'':>8} "
+            f"{self.attack_success_rate:>8.3f} {self.mean_perturbation:>6.2f}"
+        )
+        return "\n".join(lines)
+
+
+def _margins(probabilities: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    picked = probabilities[np.arange(len(labels)), labels]
+    masked = probabilities.copy()
+    masked[np.arange(len(labels)), labels] = -np.inf
+    return picked - masked.max(axis=1)
+
+
+def build_robustness_report(
+    family_names: Sequence[str],
+    labels: np.ndarray,
+    clean_probabilities: np.ndarray,
+    adversarial_probabilities: np.ndarray,
+    perturbations: Optional[Sequence[float]] = None,
+) -> RobustnessReport:
+    """Aggregate aligned clean/attacked probability matrices.
+
+    ``labels`` are true family indices into ``family_names``; the two
+    probability matrices must be row-aligned with them.  Families with no
+    samples in ``labels`` are omitted from the per-family table.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if clean_probabilities.shape != adversarial_probabilities.shape:
+        raise ConfigurationError(
+            "clean and adversarial probability matrices must align, got "
+            f"{clean_probabilities.shape} vs {adversarial_probabilities.shape}"
+        )
+    if len(labels) != clean_probabilities.shape[0]:
+        raise ConfigurationError(
+            f"{len(labels)} labels for {clean_probabilities.shape[0]} rows"
+        )
+    perturbation_array = (
+        np.asarray(perturbations, dtype=np.float64)
+        if perturbations is not None
+        else np.zeros(len(labels))
+    )
+    if len(perturbation_array) != len(labels):
+        raise ConfigurationError(
+            f"{len(perturbation_array)} perturbation sizes for "
+            f"{len(labels)} labels"
+        )
+
+    clean_predictions = clean_probabilities.argmax(axis=1)
+    adv_predictions = adversarial_probabilities.argmax(axis=1)
+    clean_margins = _margins(clean_probabilities, labels)
+    adv_margins = _margins(adversarial_probabilities, labels)
+    clean_correct = clean_predictions == labels
+    flipped = adv_predictions != labels
+
+    families: List[FamilyRobustness] = []
+    for label, family in enumerate(family_names):
+        members = labels == label
+        count = int(members.sum())
+        if count == 0:
+            continue
+        eligible = members & clean_correct
+        success = (
+            float(flipped[eligible].mean()) if eligible.any() else 0.0
+        )
+        families.append(FamilyRobustness(
+            family=family,
+            num_samples=count,
+            clean_accuracy=float(clean_correct[members].mean()),
+            adversarial_accuracy=float((~flipped[members]).mean()),
+            clean_margin=float(clean_margins[members].mean()),
+            adversarial_margin=float(adv_margins[members].mean()),
+            attack_success_rate=success,
+            mean_perturbation=float(perturbation_array[members].mean()),
+        ))
+
+    overall_success = (
+        float(flipped[clean_correct].mean()) if clean_correct.any() else 0.0
+    )
+    return RobustnessReport(
+        families=families,
+        clean_accuracy=float(clean_correct.mean()),
+        adversarial_accuracy=float((adv_predictions == labels).mean()),
+        attack_success_rate=overall_success,
+        mean_perturbation=float(perturbation_array.mean()),
+    )

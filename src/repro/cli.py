@@ -18,6 +18,9 @@ then classify unknown binaries' listings — as four subcommands:
 * ``rollout``  — drive a running fleet's zero-downtime model rollout
   (``start``/``status``/``promote``/``rollback`` against the server's
   ``/rollout/*`` endpoints).
+* ``attack``   — adversarial robustness: feature-space PGD (and
+  optionally the problem-space re-obfuscation attack) against a
+  persisted model, reported per family.
 * ``sweep``    — Table II-style hyper-parameter sweep with ``--n-jobs``
   process-pool parallelism and ``--journal``/``--resume`` checkpointing.
 * ``lint``     — project-invariant static analysis (``repro.analysis``):
@@ -162,6 +165,18 @@ def cmd_train(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     magic = Magic(config, dataset.family_names)
+    adversarial = None
+    if args.adversarial:
+        from repro.train.trainer import AdversarialConfig
+
+        adversarial = AdversarialConfig(
+            steps=args.attack_steps,
+            epsilon=args.attack_epsilon,
+            weight=args.attack_weight,
+        )
+        print(f"Adversarial training: {args.attack_steps}-step inner PGD, "
+              f"epsilon={args.attack_epsilon}, weight={args.attack_weight} "
+              "(eager path)")
     print(f"Training on {len(train)} samples "
           f"({dataset.num_classes} families, {args.epochs} epochs)...")
     history = magic.fit(
@@ -169,7 +184,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         validation.acfgs,
         TrainingConfig(epochs=args.epochs, batch_size=10,
                        learning_rate=3e-3, compiled=args.compiled,
-                       seed=args.seed),
+                       seed=args.seed, adversarial=adversarial),
     )
     report = magic.evaluate(validation.acfgs)
     print(report.format_table())
@@ -270,6 +285,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             request_timeout=args.request_timeout,
             quiet=not args.verbose,
+            include_margin=args.include_margin,
         )
         print(f"Serving {dispatcher.describe_model()} on "
               f"http://{args.host}:{server.port} "
@@ -289,6 +305,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_wait_ms=args.max_wait_ms,
             request_timeout=args.request_timeout,
             quiet=not args.verbose,
+            include_margin=args.include_margin,
         )
         described = (engine.model_info.describe()
                      if engine.model_info else "in-process model")
@@ -490,6 +507,94 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def cmd_attack(args: argparse.Namespace) -> int:
+    """Attack a persisted model and print its per-family robustness.
+
+    Regenerates the synthetic MSKCFG corpus the model was trained
+    against (same ``--seed``/``--total`` conventions as ``train``), runs
+    the feature-space PGD attack over it, and prints the per-family
+    robustness report.  ``--asm-samples N`` additionally runs the
+    problem-space knob attack (re-obfuscate, re-extract) over the first
+    N corpus coordinates.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.adv import (
+        AttackConfig,
+        FeatureSpaceAttack,
+        asm_attack_corpus,
+        build_robustness_report,
+    )
+    from repro.datasets import generate_mskcfg_dataset
+    from repro.datasets.mskcfg import MSKCFG_FAMILIES
+    from repro.features.validator import is_semantically_valid
+
+    magic = Magic.load(args.model_dir)
+    dataset = generate_mskcfg_dataset(
+        total=args.total, seed=args.seed, minimum_per_family=8
+    )
+    acfgs = dataset.acfgs
+    attack = FeatureSpaceAttack(
+        magic.model,
+        magic.scaler,
+        AttackConfig(epsilon=args.epsilon, steps=args.steps, seed=args.seed),
+    )
+    outcome = attack.attack(acfgs)
+    labels = np.array([acfg.label for acfg in acfgs], dtype=np.int64)
+    report = build_robustness_report(
+        dataset.family_names,
+        labels,
+        outcome.clean_probabilities,
+        outcome.adversarial_probabilities,
+        [record.perturbation_linf for record in outcome.records],
+    )
+    all_valid = all(
+        is_semantically_valid(graph.attributes, graph.adjacency)
+        for graph in outcome.adversarial_acfgs
+    )
+    print(f"Feature-space PGD: epsilon={args.epsilon}, steps={args.steps}")
+    print(report.format_table())
+    print("semantic validator: "
+          + ("all adversarial samples valid" if all_valid
+             else "INVALID adversarial samples present"))
+
+    asm_payload = []
+    if args.asm_samples > 0:
+        coordinates = [
+            (MSKCFG_FAMILIES[i % len(MSKCFG_FAMILIES)],
+             i // len(MSKCFG_FAMILIES))
+            for i in range(args.asm_samples)
+        ]
+        results = asm_attack_corpus(magic, coordinates, seed=args.seed)
+        flips = sum(1 for r in results if r.flipped and r.clean_label == r.label)
+        eligible = sum(1 for r in results if r.clean_label == r.label)
+        print(f"\nProblem-space knob attack: {flips}/{eligible} "
+              "clean-correct samples flipped")
+        for result in results:
+            knobs = result.knobs.to_dict() if result.knobs else {}
+            print(f"  {result.name}: "
+                  f"{'FLIPPED' if result.flipped else 'held'} "
+                  f"(margin {result.clean_margin:+.3f} -> "
+                  f"{result.adversarial_margin:+.3f}, "
+                  f"attempts {result.attempts}, knobs {knobs})")
+        asm_payload = [result.to_dict() for result in results]
+
+    if args.output:
+        payload = {
+            "feature_space": report.to_dict(),
+            "all_semantically_valid": all_valid,
+            "attack": {"epsilon": args.epsilon, "steps": args.steps,
+                       "seed": args.seed},
+            "asm": asm_payload,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nReport written to {args.output}")
+    return 0
+
+
 def cmd_predict(args: argparse.Namespace) -> int:
     """Classify listings in one batched forward pass.
 
@@ -581,6 +686,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--no-compiled", dest="compiled",
                          action="store_false",
                          help="force the eager per-op training path")
+    p_train.add_argument("--adversarial", action="store_true",
+                         help="adversarial training: mix each batch with "
+                              "an inner-PGD attacked copy (forces the "
+                              "eager path)")
+    p_train.add_argument("--attack-steps", type=int, default=3,
+                         help="inner-attack PGD steps (with --adversarial)")
+    p_train.add_argument("--attack-epsilon", type=float, default=1.0,
+                         help="inner-attack L-inf radius in scaled "
+                              "feature units (with --adversarial)")
+    p_train.add_argument("--attack-weight", type=float, default=0.5,
+                         help="adversarial-loss weight in the "
+                              "clean/adversarial mix (with --adversarial)")
     p_train.set_defaults(func=cmd_train)
 
     p_sweep = sub.add_parser(
@@ -629,6 +746,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument("--model-dir", required=True)
     p_predict.add_argument("listings", nargs="+")
     p_predict.set_defaults(func=cmd_predict)
+
+    p_attack = sub.add_parser(
+        "attack",
+        help="adversarially attack a persisted model and report "
+             "per-family robustness",
+    )
+    p_attack.add_argument("--model-dir", required=True)
+    p_attack.add_argument("--total", type=int, default=120,
+                          help="synthetic corpus size to attack "
+                               "(match the train --total)")
+    p_attack.add_argument("--seed", type=int, default=0,
+                          help="corpus + attack seed (match train --seed)")
+    p_attack.add_argument("--epsilon", type=float, default=1.5,
+                          help="PGD L-inf radius in scaled feature units")
+    p_attack.add_argument("--steps", type=int, default=10,
+                          help="PGD iterations")
+    p_attack.add_argument("--asm-samples", type=int, default=0,
+                          help="also run the problem-space knob attack "
+                               "over this many corpus samples")
+    p_attack.add_argument("--output",
+                          help="write the robustness report as JSON")
+    p_attack.set_defaults(func=cmd_attack)
 
     def add_model_source(sub_parser):
         sub_parser.add_argument("--registry",
@@ -689,6 +828,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-request queue timeout before a 503")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
+    p_serve.add_argument("--include-margin", action="store_true",
+                         help="add the top-2 score margin to /classify "
+                              "responses (adversarial-drift monitoring)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_rollout = sub.add_parser(

@@ -107,6 +107,28 @@ class GraphBatch:
         else:
             self.labels = None
         self._propagation_t: Optional[scipy.sparse.csr_matrix] = None
+        #: Optional ``requires_grad`` leaf over :attr:`attributes`; set by
+        #: :meth:`require_input_grad` for gradient-guided input attacks.
+        self.attributes_tensor: Optional[Tensor] = None
+
+    def require_input_grad(self) -> Tensor:
+        """Expose the stacked attribute matrix as a ``requires_grad`` leaf.
+
+        The returned tensor wraps :attr:`attributes` (same storage) with
+        ``requires_grad=True``; :meth:`GraphConvolutionStack.forward_batch
+        <repro.core.graph_conv.GraphConvolutionStack.forward_batch>` uses
+        it as the layer-0 input when present, so a subsequent
+        ``backward()`` accumulates ``dL/dX`` into ``tensor.grad``.  This
+        is the eager-path hook the feature-space adversarial attack
+        (:mod:`repro.adv.attack`) is built on; compiled tape replay never
+        sees such batches (attack steps always run eagerly).
+
+        Per-graph gradient rows are recovered with :attr:`boundaries`,
+        exactly like :meth:`split` slices forward activations.
+        """
+        if self.attributes_tensor is None:
+            self.attributes_tensor = Tensor(self.attributes, requires_grad=True)
+        return self.attributes_tensor
 
     @property
     def total_vertices(self) -> int:

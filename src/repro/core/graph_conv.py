@@ -153,7 +153,15 @@ class GraphConvolutionStack(Module):
                 f"{batch.normalized}, but this stack expects "
                 f"{self.normalize_propagation}"
             )
-        z = Tensor(batch.attributes)
+        # Batches prepared with require_input_grad() supply the attribute
+        # matrix as a requires_grad leaf so backward() can deliver input
+        # gradients (the adversarial-attack path); plain batches keep the
+        # constant wrapper.
+        z = (
+            batch.attributes_tensor
+            if batch.attributes_tensor is not None
+            else Tensor(batch.attributes)
+        )
         outputs: List[Tensor] = []
         for index in range(self.num_layers):
             layer = self.layer(index)

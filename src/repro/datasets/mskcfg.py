@@ -18,12 +18,16 @@ tag -> build CFG -> extract Table I attributes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.datasets.loader import MalwareDataset
-from repro.datasets.synthetic_asm import FamilyProfile, ProgramGenerator
+from repro.datasets.synthetic_asm import (
+    FamilyProfile,
+    ObfuscationKnobs,
+    ProgramGenerator,
+)
 from repro.exceptions import DatasetError
 from repro.features.pipeline import AcfgPipeline
 
@@ -175,26 +179,68 @@ def family_sample_counts(total: int, minimum_per_family: int = 4) -> Dict[str, i
     return counts
 
 
+def generate_mskcfg_sample(
+    family: str,
+    index: int,
+    seed: int = 0,
+    knobs: Optional[ObfuscationKnobs] = None,
+) -> Tuple[str, str, int]:
+    """Regenerate one corpus sample, optionally re-obfuscated.
+
+    With ``knobs=None`` the returned ``(name, asm_text, label)`` triple is
+    bit-identical to the corresponding entry of
+    :func:`generate_mskcfg_listings` for the same ``seed`` — each sample
+    draws from its own ``SeedSequence([seed, label, index])`` stream, so
+    regeneration needs nothing but the coordinates.  Passing knobs
+    re-obfuscates the *same* underlying program: the problem-space attack
+    (:mod:`repro.adv.asmattack`) searches over these variants.
+    """
+    if family not in MSKCFG_PROFILES:
+        raise DatasetError(
+            f"unknown MSKCFG family {family!r}; "
+            f"expected one of {MSKCFG_FAMILIES}"
+        )
+    label = MSKCFG_FAMILIES.index(family)
+    profile = MSKCFG_PROFILES[family]
+    if knobs is not None:
+        profile = knobs.apply(profile)
+    rng = np.random.default_rng(np.random.SeedSequence([seed, label, index]))
+    listing = ProgramGenerator(profile, rng).generate_listing()
+    return (f"{family}_{index:05d}", listing, label)
+
+
 def generate_mskcfg_listings(
     total: int = 270,
     seed: int = 0,
     minimum_per_family: int = 4,
+    knobs: Optional[ObfuscationKnobs] = None,
+    per_sample_knobs: Optional[Mapping[str, ObfuscationKnobs]] = None,
 ) -> List[Tuple[str, str, int]]:
-    """Generate ``(name, asm_text, label)`` triples for the corpus."""
+    """Generate ``(name, asm_text, label)`` triples for the corpus.
+
+    ``knobs`` re-obfuscates every sample; ``per_sample_knobs`` maps
+    sample names (``"<family>_<index:05d>"``) to per-sample overrides and
+    wins over ``knobs`` where both apply.  With neither, the output is
+    bit-identical to what this function produced before knob support
+    existed (per-sample RNG streams are unchanged).
+    """
     if total < len(MSKCFG_FAMILIES):
         raise DatasetError(
             f"total={total} too small for {len(MSKCFG_FAMILIES)} families"
         )
     counts = family_sample_counts(total, minimum_per_family)
     samples: List[Tuple[str, str, int]] = []
-    for label, family in enumerate(MSKCFG_FAMILIES):
-        profile = MSKCFG_PROFILES[family]
+    for family in MSKCFG_FAMILIES:
         for index in range(counts[family]):
-            rng = np.random.default_rng(
-                np.random.SeedSequence([seed, label, index])
+            name = f"{family}_{index:05d}"
+            sample_knobs = knobs
+            if per_sample_knobs is not None and name in per_sample_knobs:
+                sample_knobs = per_sample_knobs[name]
+            samples.append(
+                generate_mskcfg_sample(
+                    family, index, seed=seed, knobs=sample_knobs
+                )
             )
-            listing = ProgramGenerator(profile, rng).generate_listing()
-            samples.append((f"{family}_{index:05d}", listing, label))
     return samples
 
 

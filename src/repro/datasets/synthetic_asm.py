@@ -24,7 +24,7 @@ distribution shape.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -96,6 +96,56 @@ class FamilyProfile:
     weight_compare: float = 1.0
     weight_string: float = 0.2
     numeric_constant_rate: float = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class ObfuscationKnobs:
+    """Per-sample overrides of a profile's obfuscation parameters.
+
+    The generator's obfuscation behaviours — junk-code insertion (opaque
+    predicates + dead arithmetic) and dispatch-table padding — are
+    normally fixed per family by its :class:`FamilyProfile`.  Knobs
+    override just those fields for *one* sample, leaving the structural
+    signature (functions, loops, branches, instruction mix) untouched.
+    ``None`` fields keep the profile's value.
+
+    This is the lever of the problem-space attack
+    (:mod:`repro.adv.asmattack`): an adversary cannot edit extracted
+    features, but can re-obfuscate the binary and ship the variant.
+    Junk insertion consumes no RNG draws beyond its gate, so raising
+    ``junk_probability`` keeps the rest of the program bit-identical;
+    dispatch overrides legitimately reshape downstream control flow.
+    """
+
+    junk_probability: Optional[float] = None
+    dispatch_probability: Optional[float] = None
+    dispatch_fanout: Optional[Tuple[int, int]] = None
+
+    def apply(self, profile: FamilyProfile) -> FamilyProfile:
+        """``profile`` with the non-``None`` knob fields replaced."""
+        overrides = {
+            name: value
+            for name, value in (
+                ("junk_probability", self.junk_probability),
+                ("dispatch_probability", self.dispatch_probability),
+                ("dispatch_fanout", self.dispatch_fanout),
+            )
+            if value is not None
+        }
+        if not overrides:
+            return profile
+        return dataclasses.replace(profile, **overrides)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the non-``None`` overrides."""
+        payload: Dict[str, object] = {}
+        if self.junk_probability is not None:
+            payload["junk_probability"] = self.junk_probability
+        if self.dispatch_probability is not None:
+            payload["dispatch_probability"] = self.dispatch_probability
+        if self.dispatch_fanout is not None:
+            payload["dispatch_fanout"] = list(self.dispatch_fanout)
+        return payload
 
 
 _REGISTERS = ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp")

@@ -141,10 +141,21 @@ class ACFG:
         cfg: ControlFlowGraph,
         label: Optional[int] = None,
     ) -> "ACFG":
-        """Extract an ACFG from a built CFG using the Table I attributes."""
-        return cls(
+        """Extract an ACFG from a built CFG using the Table I attributes.
+
+        The extracted matrix is checked against the ACFG semantic
+        invariants (:mod:`repro.features.validator`) before it leaves the
+        front end — a custom registered extractor that emits negative or
+        fractional counts fails here, at the extraction boundary, rather
+        than as an unexplained accuracy regression downstream.
+        """
+        from repro.features.validator import validate_attributes
+
+        acfg = cls(
             adjacency=cfg.adjacency_matrix(),
             attributes=extract_attribute_matrix(cfg),
             label=label,
             name=cfg.name,
         )
+        validate_attributes(acfg.attributes, acfg.adjacency, name=acfg.name)
+        return acfg

@@ -52,13 +52,35 @@ class AttributeScaler:
         self.std_ = std
         return self
 
+    def transform_matrix(self, attributes: np.ndarray) -> np.ndarray:
+        """Scale one raw attribute matrix to z-scored feature space."""
+        if not self.is_fitted:
+            raise FeatureExtractionError("scaler used before fit()")
+        return (self._pretransform(np.asarray(attributes)) - self.mean_) / self.std_
+
+    def inverse_transform_matrix(self, scaled: np.ndarray) -> np.ndarray:
+        """Map a scaled matrix back to raw count space.
+
+        Inverts ``transform_matrix`` up to the ``max(x, 0)`` clamp in the
+        forward direction: the round trip is exact for the non-negative
+        count matrices ACFG extraction produces.  The adversarial attack
+        uses this to project perturbed *scaled* features back onto ACFG
+        semantics, which are defined over raw counts.
+        """
+        if not self.is_fitted:
+            raise FeatureExtractionError("scaler used before fit()")
+        raw = np.asarray(scaled) * self.std_ + self.mean_
+        if self.use_log:
+            raw = np.expm1(raw)
+        return np.maximum(raw, 0.0)
+
     def transform(self, acfgs: Sequence[ACFG]) -> List[ACFG]:
         """Scaled copies of ``acfgs``; adjacency and labels are shared."""
         if not self.is_fitted:
             raise FeatureExtractionError("scaler used before fit()")
         transformed = []
         for acfg in acfgs:
-            scaled = (self._pretransform(acfg.attributes) - self.mean_) / self.std_
+            scaled = self.transform_matrix(acfg.attributes)
             transformed.append(
                 ACFG(
                     adjacency=acfg.adjacency,

@@ -85,6 +85,21 @@ class ClassificationResult:
             return 0.0
         return float(self.probabilities.max())
 
+    @property
+    def margin(self) -> float:
+        """Top-1 minus top-2 probability: the score margin of the call.
+
+        A small margin means the prediction sits near a decision
+        boundary — exactly the samples the adversarial attacks
+        (:mod:`repro.adv`) flip first, so monitoring margins is the
+        cheap online proxy for attack surface.  ``0.0`` when there is no
+        prediction or fewer than two classes.
+        """
+        if self.probabilities is None or self.probabilities.size < 2:
+            return 0.0
+        top2 = np.sort(self.probabilities)[-2:]
+        return float(top2[1] - top2[0])
+
     def describe(self) -> str:
         if self.failure is not None:
             return (f"{self.name}: FAILED [{self.failure.kind.value}] "

@@ -131,11 +131,14 @@ class ClassificationServer(ThreadingHTTPServer):
         backend,
         request_timeout: float = 60.0,
         quiet: bool = True,
+        include_margin: bool = False,
     ) -> None:
         super().__init__(address, _Handler)
         self.backend = backend
         self.request_timeout = request_timeout
         self.quiet = quiet
+        #: Opt-in: add the top-2 score margin to /classify responses.
+        self.include_margin = include_margin
         self.started_at = time.monotonic()
 
     @property
@@ -178,6 +181,7 @@ def build_server(
     max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
     request_timeout: float = 60.0,
     quiet: bool = True,
+    include_margin: bool = False,
 ) -> ClassificationServer:
     """A single-process server (not yet started); ``port=0`` = any free."""
     backend = EngineBackend(
@@ -188,6 +192,7 @@ def build_server(
         backend,
         request_timeout=request_timeout,
         quiet=quiet,
+        include_margin=include_margin,
     )
 
 
@@ -197,6 +202,7 @@ def build_fleet_server(
     port: int = 0,
     request_timeout: float = 60.0,
     quiet: bool = True,
+    include_margin: bool = False,
 ) -> ClassificationServer:
     """A server fronting a :class:`~repro.serve.fleet.FleetDispatcher`."""
     return ClassificationServer(
@@ -204,6 +210,7 @@ def build_fleet_server(
         dispatcher,
         request_timeout=request_timeout,
         quiet=quiet,
+        include_margin=include_margin,
     )
 
 
@@ -270,7 +277,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.server.backend.metrics.observe_stage(
             "request", time.perf_counter() - started
         )
-        status, payload = _result_payload(result)
+        status, payload = _result_payload(
+            result, include_margin=self.server.include_margin
+        )
         self._send(status, payload)
 
     # -- /rollout/* ----------------------------------------------------
@@ -394,7 +403,9 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
 
-def _result_payload(result: ClassificationResult) -> Tuple[int, dict]:
+def _result_payload(
+    result: ClassificationResult, include_margin: bool = False
+) -> Tuple[int, dict]:
     if result.failure is not None:
         return 422, {
             "name": result.name,
@@ -405,7 +416,7 @@ def _result_payload(result: ClassificationResult) -> Tuple[int, dict]:
             },
         }
     assert result.probabilities is not None
-    return 200, {
+    payload = {
         "name": result.name,
         "family": result.family,
         "label": result.label,
@@ -413,3 +424,6 @@ def _result_payload(result: ClassificationResult) -> Tuple[int, dict]:
         "cached": result.cached,
         "probabilities": [float(p) for p in result.probabilities],
     }
+    if include_margin:
+        payload["margin"] = result.margin
+    return 200, payload

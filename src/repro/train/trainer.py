@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.adv.attack import perturb_batch_scaled
 from repro.exceptions import CompilationError, TrainingDivergedError, TrainingError
 from repro.features.acfg import ACFG
 from repro.nn.clip import clip_grad_norm
@@ -42,6 +43,50 @@ def _collator_for(model: Module) -> Optional[BatchCollator]:
 
 
 @dataclasses.dataclass(frozen=True)
+class AdversarialConfig:
+    """Inner-attack settings for adversarial training (PGD-AT).
+
+    Each training batch is additionally perturbed by a short PGD run in
+    scaled feature space (:func:`repro.adv.attack.perturb_batch_scaled`)
+    and the optimization step descends a mix of the clean and attacked
+    losses: ``(1 - weight) * L(x) + weight * L(x_adv)``.
+
+    The inner attack is the *relaxed* threat model — no integer/semantic
+    projection — which upper-bounds the projected evaluation attack, so
+    robustness trained here transfers to the realistic one.  ``epsilon``
+    and ``step_size`` are in scaled (z-scored) units, matching
+    :class:`repro.adv.attack.AttackConfig`.
+    """
+
+    steps: int = 3
+    epsilon: float = 1.0
+    step_size: Optional[float] = None
+    #: Weight of the adversarial loss term in the clean/adversarial mix.
+    weight: float = 0.5
+    random_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise TrainingError(
+                f"adversarial steps must be >= 1, got {self.steps}"
+            )
+        if self.epsilon <= 0.0:
+            raise TrainingError(
+                f"adversarial epsilon must be > 0, got {self.epsilon}"
+            )
+        if not 0.0 < self.weight <= 1.0:
+            raise TrainingError(
+                f"adversarial weight must be in (0, 1], got {self.weight}"
+            )
+
+    @property
+    def resolved_step_size(self) -> float:
+        if self.step_size is not None:
+            return self.step_size
+        return 2.5 * self.epsilon / self.steps
+
+
+@dataclasses.dataclass(frozen=True)
 class TrainingConfig:
     """Optimization hyper-parameters (the training rows of Table II).
 
@@ -63,6 +108,15 @@ class TrainingConfig:
     path, so losses and final parameters are unchanged; a model the tape
     cannot compile falls back to eager for the rest of the run with a
     ``RuntimeWarning``.
+
+    ``adversarial`` switches on adversarial training: every batch is
+    perturbed by a short inner PGD attack and the step descends a
+    clean/adversarial loss mix (see :class:`AdversarialConfig`).  The
+    inner attack needs input gradients, which only the eager autograd
+    path delivers, so adversarial runs ignore ``compiled`` and stay
+    eager.  Inner-attack randomness is seeded per ``(seed, epoch,
+    batch)`` via ``SeedSequence``, so a fixed seed reproduces the run
+    bit for bit.
     """
 
     epochs: int = 100
@@ -75,6 +129,7 @@ class TrainingConfig:
     halt_on_divergence: bool = True
     compiled: bool = True
     seed: int = 0
+    adversarial: Optional[AdversarialConfig] = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -178,8 +233,12 @@ class Trainer:
         # Tape replay needs the collated GraphBatch form; raw-ACFG
         # models stay eager.  Training always compiles in float64, so
         # replayed losses/gradients are bit-exact with the eager loop.
+        # Adversarial training forces eager: the inner attack needs the
+        # batch attributes as a requires_grad leaf, which tape replay
+        # has no channel for.
+        adversarial = config.adversarial
         compiled: Optional[CompiledModel] = None
-        if config.compiled and collator is not None:
+        if config.compiled and collator is not None and adversarial is None:
             compiled = CompiledModel(model)
         self.last_compiled = compiled
 
@@ -191,6 +250,33 @@ class Trainer:
                 train_acfgs, config.batch_size, rng=rng
             )):
                 labels = np.array([acfg.label for acfg in batch], dtype=np.int64)
+                attacked: Optional[List[ACFG]] = None
+                if adversarial is not None:
+                    attack_rng = (
+                        np.random.default_rng(np.random.SeedSequence(
+                            [config.seed, epoch, batch_index]
+                        ))
+                        if adversarial.random_start
+                        else None
+                    )
+                    attacked, attack_loss = perturb_batch_scaled(
+                        model,
+                        batch,
+                        labels,
+                        epsilon=adversarial.epsilon,
+                        steps=adversarial.steps,
+                        step_size=adversarial.resolved_step_size,
+                        rng=attack_rng,
+                    )
+                    if not np.isfinite(attack_loss):
+                        self._diverged(
+                            "inner-attack loss is not finite",
+                            history, epoch, batch_index, float(attack_loss),
+                        )
+                        break
+                # zero_grad runs *after* the inner attack: its backward
+                # passes accumulated throwaway gradients into the model
+                # parameters, which must not leak into the real step.
                 optimizer.zero_grad()
                 if compiled is not None:
                     try:
@@ -219,6 +305,16 @@ class Trainer:
                         collator(batch) if collator is not None else batch
                     )
                     loss = nll_loss(log_probs, labels)
+                    if attacked is not None:
+                        assert adversarial is not None
+                        # Attacked graphs are fresh objects every batch,
+                        # so they bypass the id-keyed collator memo and
+                        # collate directly inside the model.
+                        adversarial_loss = nll_loss(model(attacked), labels)
+                        loss = (
+                            loss * (1.0 - adversarial.weight)
+                            + adversarial_loss * adversarial.weight
+                        )
                     loss_value = loss.item()
                 if not np.isfinite(loss_value):
                     self._diverged(

@@ -1,0 +1,42 @@
+"""Shared fixture: one small trained classifier for the attack tests.
+
+Training is the expensive part, so a single session-scoped Magic is
+shared by the feature-space and problem-space attack tests.  The corpus
+matches the ``tiny_mskcfg`` session fixture (total=45, seed=11) so the
+asm attack's regenerated samples are bit-identical to what the model
+trained on.
+"""
+
+import pytest
+
+from repro.core.dgcnn import ModelConfig
+from repro.core.magic import Magic
+from repro.train.trainer import TrainingConfig
+
+#: Seed of the tiny_mskcfg session fixture; the asm knob attack must
+#: regenerate samples from the same stream.
+TINY_SEED = 11
+
+
+@pytest.fixture(scope="session")
+def tiny_magic(tiny_mskcfg):
+    magic = Magic(
+        ModelConfig(
+            num_attributes=11,
+            num_classes=tiny_mskcfg.num_classes,
+            pooling="sort_weighted",
+            graph_conv_sizes=(16, 16),
+            sort_k=8,
+            hidden_size=16,
+            dropout=0.0,
+            seed=0,
+        ),
+        tiny_mskcfg.family_names,
+    )
+    magic.fit(
+        tiny_mskcfg.acfgs,
+        training_config=TrainingConfig(
+            epochs=6, batch_size=16, learning_rate=5e-3, seed=0
+        ),
+    )
+    return magic

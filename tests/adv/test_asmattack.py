@@ -1,0 +1,62 @@
+"""Tests for the problem-space (asm re-obfuscation) attack."""
+
+import pytest
+
+from repro.adv import AsmAttackResult, asm_attack_corpus, asm_knob_attack
+from repro.datasets.mskcfg import MSKCFG_FAMILIES, generate_mskcfg_sample
+from repro.datasets.synthetic_asm import ObfuscationKnobs
+from repro.exceptions import ConfigurationError
+
+from tests.adv.conftest import TINY_SEED
+
+#: A short grid keeps each test to a handful of parse->classify passes.
+SMALL_GRID = (
+    ObfuscationKnobs(junk_probability=0.8),
+    ObfuscationKnobs(dispatch_probability=0.3, dispatch_fanout=(4, 8)),
+)
+
+
+class TestAsmKnobAttack:
+    def test_result_structure(self, tiny_magic):
+        result = asm_knob_attack(
+            tiny_magic, MSKCFG_FAMILIES[0], 0, seed=TINY_SEED, grid=SMALL_GRID
+        )
+        assert isinstance(result, AsmAttackResult)
+        assert result.family == MSKCFG_FAMILIES[0]
+        assert result.label == 0
+        assert 1 <= result.attempts <= len(SMALL_GRID)
+        assert result.flipped == (result.adversarial_label != result.label)
+        payload = result.to_dict()
+        assert payload["family"] == MSKCFG_FAMILIES[0]
+        assert payload["knobs"] is None or isinstance(payload["knobs"], dict)
+
+    def test_reported_variant_never_weaker_than_clean(self, tiny_magic):
+        result = asm_knob_attack(
+            tiny_magic, MSKCFG_FAMILIES[1], 0, seed=TINY_SEED, grid=SMALL_GRID
+        )
+        assert result.adversarial_margin <= result.clean_margin
+
+    def test_deterministic(self, tiny_magic):
+        first = asm_knob_attack(
+            tiny_magic, MSKCFG_FAMILIES[2], 0, seed=TINY_SEED, grid=SMALL_GRID
+        )
+        second = asm_knob_attack(
+            tiny_magic, MSKCFG_FAMILIES[2], 0, seed=TINY_SEED, grid=SMALL_GRID
+        )
+        assert first.to_dict() == second.to_dict()
+
+    def test_empty_grid_rejected(self, tiny_magic):
+        with pytest.raises(ConfigurationError):
+            asm_knob_attack(
+                tiny_magic, MSKCFG_FAMILIES[0], 0, seed=TINY_SEED, grid=()
+            )
+
+    def test_corpus_runner_preserves_order(self, tiny_magic):
+        coordinates = [(MSKCFG_FAMILIES[0], 0), (MSKCFG_FAMILIES[3], 1)]
+        results = asm_attack_corpus(
+            tiny_magic, coordinates, seed=TINY_SEED, grid=SMALL_GRID
+        )
+        assert [(r.family, r.name) for r in results] == [
+            (family, generate_mskcfg_sample(family, index, seed=TINY_SEED)[0])
+            for family, index in coordinates
+        ]

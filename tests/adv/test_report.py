@@ -1,0 +1,69 @@
+"""Tests for the per-family robustness report."""
+
+import numpy as np
+import pytest
+
+from repro.adv import build_robustness_report
+from repro.exceptions import ConfigurationError
+
+FAMILIES = ["alpha", "beta", "gamma"]
+
+
+def probs(rows):
+    matrix = np.array(rows, dtype=np.float64)
+    return matrix / matrix.sum(axis=1, keepdims=True)
+
+
+class TestBuildRobustnessReport:
+    def test_per_family_aggregation(self):
+        labels = np.array([0, 0, 1, 1])
+        clean = probs([[8, 1, 1], [8, 1, 1], [1, 8, 1], [8, 1, 1]])
+        adversarial = probs([[1, 8, 1], [8, 1, 1], [1, 8, 1], [8, 1, 1]])
+        report = build_robustness_report(
+            FAMILIES, labels, clean, adversarial, [0.5, 0.1, 0.2, 0.3]
+        )
+
+        # gamma has no samples and is omitted from the breakdown.
+        assert [f.family for f in report.families] == ["alpha", "beta"]
+        alpha, beta = report.families
+        assert alpha.num_samples == 2
+        assert alpha.clean_accuracy == pytest.approx(1.0)
+        assert alpha.adversarial_accuracy == pytest.approx(0.5)
+        assert alpha.attack_success_rate == pytest.approx(0.5)
+        assert alpha.mean_perturbation == pytest.approx(0.3)
+        # One beta sample was already misclassified clean; the attack
+        # success rate only counts the clean-correct one (not flipped).
+        assert beta.clean_accuracy == pytest.approx(0.5)
+        assert beta.attack_success_rate == pytest.approx(0.0)
+
+        assert report.clean_accuracy == pytest.approx(0.75)
+        assert report.adversarial_accuracy == pytest.approx(0.5)
+        assert report.accuracy_drop == pytest.approx(0.25)
+
+    def test_margins_signed(self):
+        labels = np.array([0])
+        clean = probs([[8, 1, 1]])
+        adversarial = probs([[1, 8, 1]])
+        report = build_robustness_report(FAMILIES, labels, clean, adversarial)
+        assert report.families[0].clean_margin > 0.0
+        assert report.families[0].adversarial_margin < 0.0
+
+    def test_shape_mismatches_rejected(self):
+        labels = np.array([0, 1])
+        clean = probs([[1, 1, 1], [1, 1, 1]])
+        with pytest.raises(ConfigurationError):
+            build_robustness_report(FAMILIES, labels, clean, clean[:1])
+        with pytest.raises(ConfigurationError):
+            build_robustness_report(FAMILIES, labels[:1], clean, clean)
+        with pytest.raises(ConfigurationError):
+            build_robustness_report(FAMILIES, labels, clean, clean, [0.1])
+
+    def test_format_table_and_dict(self):
+        labels = np.array([0, 1])
+        clean = probs([[8, 1, 1], [1, 8, 1]])
+        report = build_robustness_report(FAMILIES, labels, clean, clean)
+        table = report.format_table()
+        assert "alpha" in table and "overall" in table
+        payload = report.to_dict()
+        assert payload["accuracy_drop"] == pytest.approx(0.0)
+        assert len(payload["families"]) == 2

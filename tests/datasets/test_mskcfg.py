@@ -10,7 +10,9 @@ from repro.datasets.mskcfg import (
     family_sample_counts,
     generate_mskcfg_dataset,
     generate_mskcfg_listings,
+    generate_mskcfg_sample,
 )
+from repro.datasets.synthetic_asm import ObfuscationKnobs
 from repro.exceptions import DatasetError
 
 
@@ -76,3 +78,58 @@ class TestDatasetGeneration:
         sequential = generate_mskcfg_dataset(total=20, seed=9, max_workers=1)
         parallel = generate_mskcfg_dataset(total=20, seed=9, max_workers=4)
         assert [a.name for a in sequential.acfgs] == [a.name for a in parallel.acfgs]
+
+
+class TestSampleRegeneration:
+    def test_sample_matches_corpus_entry_bit_for_bit(self):
+        listings = generate_mskcfg_listings(total=18, seed=5,
+                                            minimum_per_family=2)
+        for entry in (listings[0], listings[-1]):
+            name, _, label = entry
+            family = MSKCFG_FAMILIES[label]
+            index = int(name.rsplit("_", 1)[1])
+            assert generate_mskcfg_sample(family, index, seed=5) == entry
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_mskcfg_sample("NotAFamily", 0)
+
+    def test_knobs_change_only_obfuscation(self):
+        clean = generate_mskcfg_sample("Simda", 0, seed=5)
+        junked = generate_mskcfg_sample(
+            "Simda", 0, seed=5, knobs=ObfuscationKnobs(junk_probability=1.0)
+        )
+        assert junked[0] == clean[0] and junked[2] == clean[2]
+        assert junked[1] != clean[1]
+        # Junk insertion only adds instructions (addresses shift, but
+        # the listing strictly grows).
+        assert len(junked[1].splitlines()) > len(clean[1].splitlines())
+
+
+class TestPerSampleKnobs:
+    def test_override_targets_one_sample(self):
+        baseline = generate_mskcfg_listings(total=18, seed=5,
+                                            minimum_per_family=2)
+        target = baseline[3][0]
+        overridden = generate_mskcfg_listings(
+            total=18, seed=5, minimum_per_family=2,
+            per_sample_knobs={target: ObfuscationKnobs(junk_probability=1.0)},
+        )
+        for before, after in zip(baseline, overridden):
+            if before[0] == target:
+                assert after[1] != before[1]
+            else:
+                assert after == before
+
+    def test_global_knobs_lose_to_per_sample(self):
+        knobs = ObfuscationKnobs(junk_probability=1.0)
+        listings = generate_mskcfg_listings(total=18, seed=5,
+                                            minimum_per_family=2)
+        target = listings[0][0]
+        mixed = generate_mskcfg_listings(
+            total=18, seed=5, minimum_per_family=2, knobs=knobs,
+            per_sample_knobs={target: ObfuscationKnobs()},
+        )
+        # The per-sample empty override wins: sample 0 keeps profile
+        # obfuscation while everything else gets the global junk knob.
+        assert mixed[0] == listings[0]

@@ -1,0 +1,85 @@
+"""Tests for the opt-in score margin in classification responses.
+
+The margin (top-1 minus top-2 probability) is the online proxy for
+attack surface: the adversarial attacks in :mod:`repro.adv` flip
+low-margin samples first, so operators watch it to spot drifting or
+near-boundary traffic.  It stays behind a flag to keep the default
+response schema unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceEngine
+from repro.serve.engine import ClassificationResult
+from repro.serve.http import _result_payload
+
+from tests.serve.conftest import MODEL_NAME
+from tests.serve.test_http import request, running_server
+
+
+def result_with(probabilities):
+    probs = np.asarray(probabilities, dtype=np.float64)
+    label = int(probs.argmax())
+    return ClassificationResult(
+        name="s", family=f"f{label}", label=label, probabilities=probs
+    )
+
+
+class TestMarginProperty:
+    def test_top1_minus_top2(self):
+        assert result_with([0.7, 0.2, 0.1]).margin == pytest.approx(0.5)
+
+    def test_degenerate_cases(self):
+        assert ClassificationResult(name="s").margin == pytest.approx(0.0)
+        assert result_with([1.0]).margin == pytest.approx(0.0)
+
+    def test_tied_top2_is_zero(self):
+        assert result_with([0.4, 0.4, 0.2]).margin == pytest.approx(0.0)
+
+
+class TestPayloadGating:
+    def test_margin_absent_by_default(self):
+        status, payload = _result_payload(result_with([0.6, 0.3, 0.1]))
+        assert status == 200
+        assert "margin" not in payload
+
+    def test_margin_present_when_enabled(self):
+        status, payload = _result_payload(
+            result_with([0.6, 0.3, 0.1]), include_margin=True
+        )
+        assert status == 200
+        assert payload["margin"] == np.float64(0.3)
+
+
+class TestEndToEnd:
+    def test_include_margin_threads_through_classify(
+        self, registry_root, listing_samples
+    ):
+        name, text = listing_samples[0]
+        engine = InferenceEngine.from_registry(
+            registry_root, MODEL_NAME, cache_size=0
+        )
+        with running_server(engine, include_margin=True) as server:
+            status, payload = request(
+                server, "POST", "/classify",
+                payload={"name": name, "asm": text},
+            )
+        assert status == 200
+        probs = sorted(payload["probabilities"])
+        assert payload["margin"] == probs[-1] - probs[-2]
+
+    def test_margin_off_by_default_over_http(
+        self, registry_root, listing_samples
+    ):
+        name, text = listing_samples[0]
+        engine = InferenceEngine.from_registry(
+            registry_root, MODEL_NAME, cache_size=0
+        )
+        with running_server(engine) as server:
+            status, payload = request(
+                server, "POST", "/classify",
+                payload={"name": name, "asm": text},
+            )
+        assert status == 200
+        assert "margin" not in payload
