@@ -11,6 +11,9 @@ then classify unknown binaries' listings — as four subcommands:
 * ``predict``  — classify listings with a persisted model.
 * ``classify`` — classify listings through the serving engine
   (registry archives, per-request failure kinds, prediction cache).
+* ``dedup``    — report (or drop) near-duplicate samples in an
+  extracted corpus using the topology-aware CFG fingerprints of
+  :mod:`repro.similarity`.
 * ``serve``    — run the HTTP classification service (``/classify``,
   ``/healthz``, ``/metrics``): single-process micro-batching by
   default, or a multi-process fleet of model replicas with
@@ -209,7 +212,12 @@ def _serving_engine(args: argparse.Namespace):
         "max_vertices": args.max_vertices,
         "compiled": args.compiled,
         "infer_dtype": args.infer_dtype,
+        "similar_threshold": args.similar_threshold,
     }
+    if args.cache_size is not None:
+        kwargs["cache_size"] = args.cache_size
+    if args.fingerprint_iterations is not None:
+        kwargs["fingerprint_iterations"] = args.fingerprint_iterations
     if args.model_dir:
         return InferenceEngine.from_archive(args.model_dir, **kwargs)
     if not (args.registry and args.model):
@@ -244,10 +252,67 @@ def cmd_classify(args: argparse.Namespace) -> int:
                   f"{result.failure.detail}", file=sys.stderr)
             status = 1
         else:
-            cached = " (cached)" if result.cached else ""
+            if result.similar and result.similarity is not None:
+                suffix = f" (similar {result.similarity:.3f})"
+            elif result.cached:
+                suffix = " (cached)"
+            else:
+                suffix = ""
             print(f"{result.name}: {result.family} "
-                  f"(confidence {result.confidence:.3f}){cached}")
+                  f"(confidence {result.confidence:.3f}){suffix}")
     return status
+
+
+def cmd_dedup(args: argparse.Namespace) -> int:
+    """Report (or drop) near-duplicates in an extracted dataset cache.
+
+    Runs the same topology-aware fingerprint the serving similarity
+    tier uses over every sample of a ``save_dataset`` corpus.  Dropped
+    members print one ``DROPPED <name> [near-duplicate]: ...`` line
+    each to stderr — mirroring ``extract``'s quarantine-style failure
+    listing — and the command exits 1 when duplicates were found but
+    not applied, so pipelines can gate on a clean corpus.  ``--apply``
+    rewrites the cache atomically, keeping each cluster's first-seen
+    keeper.
+    """
+    import json
+
+    from repro.datasets.cache import load_dataset, save_dataset
+    from repro.datasets.loader import MalwareDataset
+    from repro.similarity import find_near_duplicates
+
+    dataset = load_dataset(args.cache_dir)
+    kwargs = {}
+    if args.threshold is not None:
+        kwargs["threshold"] = args.threshold
+    if args.iterations is not None:
+        kwargs["iterations"] = args.iterations
+    report = find_near_duplicates(dataset.acfgs, **kwargs)
+    for cluster in report.clusters:
+        for member in cluster.members:
+            print(f"DROPPED {member.name} [near-duplicate]: "
+                  f"estimated Jaccard {member.similarity:.3f} vs "
+                  f"{cluster.keeper_name}", file=sys.stderr)
+    print(f"{args.cache_dir}: {report.total} samples, "
+          f"{report.num_kept} kept, {report.num_dropped} near-duplicates "
+          f"in {len(report.clusters)} clusters "
+          f"(threshold {report.threshold})")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.output}")
+    if not report.num_dropped:
+        return 0
+    if not args.apply:
+        return 1
+    kept = [dataset.acfgs[index] for index in report.kept_indices]
+    save_dataset(
+        MalwareDataset(acfgs=kept, family_names=dataset.family_names,
+                       name=dataset.name),
+        args.cache_dir,
+    )
+    print(f"rewrote {args.cache_dir} with {len(kept)} samples")
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -268,6 +333,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 "replicas each load a verified archive from the registry"
             )
         name, _, version = args.model.partition("@")
+        fleet_kwargs = {}
+        if args.cache_size is not None:
+            fleet_kwargs["cache_size"] = args.cache_size
         dispatcher = FleetDispatcher(
             args.registry,
             name,
@@ -276,8 +344,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_batch_size=args.max_batch_size,
             batch_timeout=args.batch_timeout,
             max_vertices=args.max_vertices,
+            similar_threshold=args.similar_threshold,
+            fingerprint_iterations=args.fingerprint_iterations,
             compiled=args.compiled,
             infer_dtype=args.infer_dtype,
+            **fleet_kwargs,
         )
         server = build_fleet_server(
             dispatcher,
@@ -781,6 +852,22 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--max-vertices", type=int, default=None,
                                 help="per-request graph size guard "
                                      "(oversize requests fail [oversize])")
+        sub_parser.add_argument("--cache-size", type=int, default=None,
+                                help="prediction cache bound (0 disables "
+                                     "all result caching, the similarity "
+                                     "tier included)")
+        sub_parser.add_argument("--similar-threshold", type=float,
+                                default=None,
+                                help="enable the near-duplicate cache tier: "
+                                     "serve fingerprint matches at or above "
+                                     "this estimated Jaccard, flagged "
+                                     "'similar' (default: off; calibrated "
+                                     "default when enabling: 0.5)")
+        sub_parser.add_argument("--fingerprint-iterations", type=int,
+                                default=None,
+                                help="WL relabeling rounds for similarity "
+                                     "fingerprints (default 3; more rounds "
+                                     "= stricter topology matching)")
         sub_parser.add_argument("--compiled", action="store_true",
                                 default=True,
                                 help="serve forwards through the compiled "
@@ -804,6 +891,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_model_source(p_classify)
     p_classify.add_argument("listings", nargs="+")
     p_classify.set_defaults(func=cmd_classify)
+
+    p_dedup = sub.add_parser(
+        "dedup",
+        help="report/drop near-duplicate samples in an extracted "
+             "dataset cache (topology-aware CFG fingerprints)",
+    )
+    p_dedup.add_argument("cache_dir",
+                         help="dataset cache directory (save_dataset format)")
+    p_dedup.add_argument("--threshold", type=float, default=None,
+                         help="estimated-Jaccard near-duplicate "
+                              "threshold (default: the calibrated "
+                              "serving default, 0.5)")
+    p_dedup.add_argument("--iterations", type=int, default=None,
+                         help="WL relabeling rounds (default 3)")
+    p_dedup.add_argument("--apply", action="store_true",
+                         help="rewrite the cache keeping only cluster "
+                              "keepers (atomic; default is report-only)")
+    p_dedup.add_argument("--output",
+                         help="also write the full cluster report as JSON")
+    p_dedup.set_defaults(func=cmd_dedup)
 
     p_serve = sub.add_parser(
         "serve", help="run the HTTP classification service "

@@ -158,3 +158,14 @@ class TrainingDivergedError(TrainingError):
             f"{message} (epoch {epoch}, batch {batch}"
             + (f", loss {loss!r})" if loss is not None else ")")
         )
+
+
+class SimilarityError(MagicError):
+    """Raised on similarity-subsystem misuse (`repro.similarity`).
+
+    Covers configuration errors (invalid threshold, band/permutation
+    mismatch, negative WL iterations) and comparisons between
+    fingerprints computed with different parameters.  A *miss* in the
+    near-duplicate index is never an error — it just means the sample
+    pays the full pipeline.
+    """

@@ -13,12 +13,20 @@ Two production concerns shape it:
   :class:`~repro.features.pipeline.ExtractionFailure` (``parse`` /
   ``oversize`` / ``unexpected``) on *its own* result — it never poisons
   the other requests coalesced into the same micro-batch.
-* **A content-hash LRU prediction cache.**  Malware corpora are heavy
-  with exact duplicates (repacked submissions, re-scanned files); a
+* **A two-tier prediction cache.**  Malware corpora are heavy with
+  exact duplicates (repacked submissions, re-scanned files); a
   sha256-of-text key serves repeats without re-running disassembly or
   the model.  Failures are cached too — they are deterministic
   properties of the input, the same philosophy as the extraction
-  journal's replay-not-retry rule.
+  journal's replay-not-retry rule.  Behind the exact tier, an opt-in
+  **similarity tier** (``similar_threshold``) indexes the
+  topology-aware fingerprints of :mod:`repro.similarity`: a request
+  that misses the exact cache but whose CFG fingerprint is
+  near-duplicate to a previously classified sample is served that
+  sample's prediction, explicitly flagged ``similar`` with the
+  estimated Jaccard.  Only successful predictions enter the similarity
+  index — a cached *failure* is an exact property of one input and is
+  never generalized to near-duplicates.
 """
 
 from __future__ import annotations
@@ -45,6 +53,12 @@ from repro.features.pipeline import (
 from repro.nn.tape import CompiledModel
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ArchiveInfo, load, load_archive
+from repro.similarity import (
+    DEFAULT_WL_ITERATIONS,
+    SimilarityIndex,
+    SimilarityMatch,
+    fingerprint_acfg,
+)
 from repro.testing.faults import FaultPlan
 from repro.train.batching import BatchCollator
 
@@ -71,8 +85,14 @@ class ClassificationResult:
     family: Optional[str] = None
     label: Optional[int] = None
     probabilities: Optional[np.ndarray] = None
-    #: Served from the content-hash cache instead of a fresh forward.
+    #: Served from the prediction cache instead of a fresh forward.
     cached: bool = False
+    #: Served a *near-duplicate*'s prediction (similarity tier); the
+    #: flag sticks to exact repeats of the same variant, so a response
+    #: assembled from a similar match is never presented as exact.
+    similar: bool = False
+    #: Estimated Jaccard of the fingerprint match (set when ``similar``).
+    similarity: Optional[float] = None
     failure: Optional[ExtractionFailure] = None
 
     @property
@@ -104,12 +124,18 @@ class ClassificationResult:
         if self.failure is not None:
             return (f"{self.name}: FAILED [{self.failure.kind.value}] "
                     f"{self.failure.detail}")
-        suffix = " (cached)" if self.cached else ""
+        if self.similar and self.similarity is not None:
+            suffix = f" (similar {self.similarity:.3f})"
+        elif self.cached:
+            suffix = " (cached)"
+        else:
+            suffix = ""
         return (f"{self.name}: {self.family} "
                 f"(confidence {self.confidence:.3f}){suffix}")
 
 
 #: Cache entry: ("ok", family, label, probabilities) or
+#: ("similar", family, label, probabilities, similarity) or
 #: ("fail", kind_value, detail).
 _CacheEntry = Tuple
 
@@ -128,7 +154,16 @@ class InferenceEngine:
         Shared :class:`ServeMetrics` sink; a private one is created when
         omitted.
     cache_size:
-        Bound on the content-hash prediction cache (``0`` disables).
+        Bound on the content-hash prediction cache (``0`` disables all
+        result caching, the similarity tier included).
+    similar_threshold:
+        Estimated-Jaccard threshold for the similarity cache tier;
+        ``None`` (the default) keeps the tier off.  When set, a request
+        missing the exact cache is fingerprinted and may be served a
+        near-duplicate's prediction, flagged ``similar``.
+    fingerprint_iterations:
+        WL relabeling rounds for the similarity fingerprints (more
+        rounds = stricter topology matching).
     max_vertices:
         Per-request graph-size guard, same semantics as the extraction
         pipeline's (oversize requests fail with ``[oversize]``).
@@ -158,6 +193,8 @@ class InferenceEngine:
         model_info: Optional[ArchiveInfo] = None,
         metrics: Optional[ServeMetrics] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        similar_threshold: Optional[float] = None,
+        fingerprint_iterations: int = DEFAULT_WL_ITERATIONS,
         max_vertices: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
         compiled: bool = True,
@@ -171,6 +208,11 @@ class InferenceEngine:
             )
         if cache_size < 0:
             raise ServeError(f"cache_size must be >= 0, got {cache_size}")
+        if fingerprint_iterations < 0:
+            raise ServeError(
+                "fingerprint_iterations must be >= 0, got "
+                f"{fingerprint_iterations}"
+            )
         if infer_dtype not in _INFER_DTYPES:
             raise ServeError(
                 f"infer_dtype must be one of {_INFER_DTYPES}, got {infer_dtype!r}"
@@ -190,6 +232,18 @@ class InferenceEngine:
         self._spec = resolve_worker("text")
         self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
         self._cache_lock = threading.Lock()
+        # Second cache tier: near-duplicate fingerprint lookup.  Bounded
+        # by cache_size like the exact tier, and off entirely when
+        # result caching is disabled (cache_size=0): an engine asked not
+        # to cache must not serve *any* remembered prediction.
+        self._fingerprint_iterations = fingerprint_iterations
+        self._similarity: Optional[SimilarityIndex] = None
+        if similar_threshold is not None and cache_size > 0:
+            self._similarity = SimilarityIndex(
+                threshold=similar_threshold,
+                iterations=fingerprint_iterations,
+                max_entries=cache_size,
+            )
         # GraphBatch-capable models get the shared collate memo and
         # (opt-out) the tape cache; raw-ACFG models keep the eager
         # Magic.predict_proba path untouched.
@@ -255,12 +309,13 @@ class InferenceEngine:
         pending: List[Tuple[int, str, ACFG]] = []  # (index, cache key, acfg)
         in_flight: set = set()  # keys with an extraction pending this batch
         followers: Dict[str, List[Tuple[int, str]]] = {}
+        signatures: Dict[str, np.ndarray] = {}  # key -> minhash signature
 
         for index, (name, text) in enumerate(samples):
             key = hashlib.sha256(text.encode("utf-8")).hexdigest()
             entry = self._cache_get(key)
             if entry is not None:
-                self.metrics.observe_cache(True)
+                self.metrics.observe_cache_tier("exact")
                 results[index] = self._from_cache(name, index, entry)
                 self._count(results[index])
                 continue
@@ -268,10 +323,9 @@ class InferenceEngine:
                 # Exact duplicate of an earlier sample in this batch:
                 # serve it from that sample's forthcoming prediction
                 # instead of extracting and forwarding it again.
-                self.metrics.observe_cache(True)
+                self.metrics.observe_cache_tier("exact")
                 followers.setdefault(key, []).append((index, name))
                 continue
-            self.metrics.observe_cache(False)
             started = time.perf_counter()
             outcome = execute_unit(
                 self._spec.fn,
@@ -293,9 +347,31 @@ class InferenceEngine:
                     f"({type(payload[0]).__name__})",
                 ]
             if status == "ok":
+                match, signature = self._similar_lookup(payload[0])
+                if match is not None:
+                    # Similarity-tier hit: serve the near-duplicate's
+                    # prediction, flagged.  The flagged entry also goes
+                    # into the exact cache so repeats of this exact
+                    # variant keep the flag.
+                    _, family, label, probabilities = match.payload
+                    entry = (
+                        "similar", family, label, probabilities,
+                        match.similarity,
+                    )
+                    self._cache_put(key, entry)
+                    self.metrics.observe_cache_tier(
+                        "similar", match.similarity
+                    )
+                    results[index] = self._from_cache(name, index, entry)
+                    self._count(results[index])
+                    continue
+                self.metrics.observe_cache_tier("miss")
+                if signature is not None:
+                    signatures[key] = signature
                 in_flight.add(key)
                 pending.append((index, key, payload[0]))
             else:
+                self.metrics.observe_cache_tier("miss")
                 entry = ("fail", payload[0], payload[1])
                 self._cache_put(key, entry)
                 results[index] = self._from_cache(
@@ -315,6 +391,10 @@ class InferenceEngine:
                 label = int(row.argmax())
                 entry = ("ok", self.family_names[label], label, row.copy())
                 self._cache_put(key, entry)
+                if self._similarity is not None and key in signatures:
+                    # Only fresh successful predictions feed the
+                    # similarity tier; failures never generalize.
+                    self._similarity.insert(key, signatures[key], entry)
                 name = samples[index][0]
                 results[index] = ClassificationResult(
                     name=name,
@@ -332,6 +412,31 @@ class InferenceEngine:
         return results  # type: ignore[return-value] — every slot is filled
 
     # -- internals -----------------------------------------------------
+
+    def _similar_lookup(
+        self, acfg: ACFG
+    ) -> Tuple[Optional[SimilarityMatch], Optional[np.ndarray]]:
+        """Similarity-tier probe for one freshly extracted ACFG.
+
+        Returns ``(match, signature)``: the best near-duplicate clearing
+        the threshold (or ``None``) and the minhash signature to index
+        this sample under after its own forward completes.  Both are
+        ``None`` when the tier is off or the graph is empty (an empty
+        fingerprint cannot be signed — and matching on it would equate
+        every degenerate listing).
+        """
+        if self._similarity is None or acfg.num_vertices == 0:
+            return None, None
+        started = time.perf_counter()
+        fingerprint = fingerprint_acfg(
+            acfg, iterations=self._fingerprint_iterations
+        )
+        signature = self._similarity.signature(fingerprint)
+        match = self._similarity.query(signature)
+        self.metrics.observe_stage(
+            "fingerprint", time.perf_counter() - started
+        )
+        return match, signature
 
     def _predict_proba(
         self, keyed_acfgs: Sequence[Tuple[str, ACFG]]
@@ -423,6 +528,17 @@ class InferenceEngine:
                 probabilities=probabilities,
                 cached=cached,
             )
+        if entry[0] == "similar":
+            _, family, label, probabilities, similarity = entry
+            return ClassificationResult(
+                name=name,
+                family=family,
+                label=label,
+                probabilities=probabilities,
+                cached=cached,
+                similar=True,
+                similarity=similarity,
+            )
         _, kind_value, detail = entry
         return ClassificationResult(
             name=name,
@@ -457,6 +573,11 @@ class InferenceEngine:
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
 
-    def cache_info(self) -> Dict[str, int]:
+    def cache_info(self) -> Dict:
         with self._cache_lock:
-            return {"entries": len(self._cache), "bound": self.cache_size}
+            info: Dict = {
+                "entries": len(self._cache), "bound": self.cache_size,
+            }
+        if self._similarity is not None:
+            info["similarity"] = self._similarity.info()
+        return info

@@ -94,6 +94,8 @@ def inference_service(
     version: str,
     max_vertices: Optional[int] = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
+    similar_threshold: Optional[float] = None,
+    fingerprint_iterations: Optional[int] = None,
     fault_plan=None,
     compiled: bool = True,
     infer_dtype: str = "float64",
@@ -108,15 +110,20 @@ def inference_service(
     process, so a respawned worker simply re-captures on its first
     batch of each shape.
     """
+    kwargs = {}
+    if fingerprint_iterations is not None:
+        kwargs["fingerprint_iterations"] = fingerprint_iterations
     engine = InferenceEngine.from_registry(
         root,
         name,
         version=version,
         cache_size=cache_size,
+        similar_threshold=similar_threshold,
         max_vertices=max_vertices,
         fault_plan=fault_plan,
         compiled=compiled,
         infer_dtype=infer_dtype,
+        **kwargs,
     )
     return _InferenceHandler(engine)
 
@@ -214,6 +221,12 @@ class FleetDispatcher:
     max_vertices, cache_size, fault_plan:
         Forwarded into each worker's :class:`InferenceEngine`
         (``fault_plan`` exists for tests: deterministic hangs/crashes).
+    similar_threshold, fingerprint_iterations:
+        Per-replica similarity cache tier configuration, forwarded into
+        each worker's :class:`InferenceEngine` (``similar_threshold
+        = None`` keeps the tier off).  Each replica keeps its own
+        fingerprint index; fixed hashing seeds keep their fingerprints
+        mutually comparable.
     compiled, infer_dtype:
         Forwarded into each worker's :class:`InferenceEngine`; the tape
         cache is per-process, so respawned replicas re-capture on their
@@ -231,6 +244,8 @@ class FleetDispatcher:
         start_timeout: float = DEFAULT_START_TIMEOUT,
         max_vertices: Optional[int] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        similar_threshold: Optional[float] = None,
+        fingerprint_iterations: Optional[int] = None,
         fault_plan=None,
         metrics: Optional[ServeMetrics] = None,
         compiled: bool = True,
@@ -260,6 +275,8 @@ class FleetDispatcher:
         self.start_timeout = start_timeout
         self.max_vertices = max_vertices
         self.cache_size = cache_size
+        self.similar_threshold = similar_threshold
+        self.fingerprint_iterations = fingerprint_iterations
         self.fault_plan = fault_plan
         self.compiled = compiled
         self.infer_dtype = infer_dtype
@@ -385,6 +402,8 @@ class FleetDispatcher:
                 "version": version,
                 "max_vertices": self.max_vertices,
                 "cache_size": self.cache_size,
+                "similar_threshold": self.similar_threshold,
+                "fingerprint_iterations": self.fingerprint_iterations,
                 "fault_plan": self.fault_plan,
                 "compiled": self.compiled,
                 "infer_dtype": self.infer_dtype,
@@ -714,7 +733,14 @@ class FleetDispatcher:
                 kind = (result.failure.kind.value
                         if result.failure is not None else None)
                 self.metrics.observe_request(result.ok, kind)
-                self.metrics.observe_cache(result.cached)
+                if result.similar:
+                    self.metrics.observe_cache_tier(
+                        "similar", result.similarity
+                    )
+                elif result.cached:
+                    self.metrics.observe_cache_tier("exact")
+                else:
+                    self.metrics.observe_cache_tier("miss")
                 self._maybe_mirror_locked(request, result, latency)
         self._conclude_rollout_locked()
 

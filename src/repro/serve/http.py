@@ -422,8 +422,13 @@ def _result_payload(
         "label": result.label,
         "confidence": result.confidence,
         "cached": result.cached,
+        # Always present so clients needn't guess whether the server
+        # runs the similarity tier; "similarity" rides along on hits.
+        "similar": result.similar,
         "probabilities": [float(p) for p in result.probabilities],
     }
+    if result.similar and result.similarity is not None:
+        payload["similarity"] = result.similarity
     if include_margin:
         payload["margin"] = result.margin
     return 200, payload

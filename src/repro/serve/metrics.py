@@ -28,6 +28,13 @@ DEFAULT_LATENCY_WINDOW = 2048
 #: Percentiles reported per stage, in ``pNN`` key form.
 PERCENTILES = (50, 90, 99)
 
+#: Prediction-cache tiers: exact sha256 hit, similarity-tier hit, miss.
+CACHE_TIERS = ("exact", "similar", "miss")
+
+#: Bin width of the similarity histogram (estimated Jaccard of
+#: similar-tier hits, floored to the bin's lower edge).
+SIMILARITY_BIN = 0.05
+
 
 class ServeMetrics:
     """Aggregates serving observations from engine, batcher, and HTTP."""
@@ -42,8 +49,10 @@ class ServeMetrics:
         self._requests_ok = 0
         self._requests_failed = 0
         self._failures_by_kind: Counter[str] = Counter()
-        self._cache_hits = 0
+        self._cache_exact_hits = 0
+        self._cache_similar_hits = 0
         self._cache_misses = 0
+        self._similarity_bins: Counter[str] = Counter()
         self._batch_sizes: Counter[int] = Counter()
         self._stage_seconds: Dict[str, Deque[float]] = {}
         self._stage_counts: Counter[str] = Counter()
@@ -61,9 +70,29 @@ class ServeMetrics:
                     self._failures_by_kind[kind] += 1
 
     def observe_cache(self, hit: bool) -> None:
+        """Back-compat shim: a plain hit is an exact-tier hit."""
+        self.observe_cache_tier("exact" if hit else "miss")
+
+    def observe_cache_tier(
+        self, tier: str, similarity: Optional[float] = None
+    ) -> None:
+        """One prediction-cache lookup resolved at ``tier``.
+
+        ``similarity`` (the estimated Jaccard of the match) is recorded
+        into the similarity histogram for ``"similar"``-tier hits.
+        """
+        if tier not in CACHE_TIERS:
+            raise ServeError(
+                f"cache tier must be one of {CACHE_TIERS}, got {tier!r}"
+            )
         with self._lock:
-            if hit:
-                self._cache_hits += 1
+            if tier == "exact":
+                self._cache_exact_hits += 1
+            elif tier == "similar":
+                self._cache_similar_hits += 1
+                if similarity is not None:
+                    edge = int(similarity / SIMILARITY_BIN) * SIMILARITY_BIN
+                    self._similarity_bins[f"{edge:.2f}"] += 1
             else:
                 self._cache_misses += 1
 
@@ -88,7 +117,8 @@ class ServeMetrics:
         """A JSON-ready view of everything observed so far."""
         with self._lock:
             total = self._requests_ok + self._requests_failed
-            cache_total = self._cache_hits + self._cache_misses
+            cache_hits = self._cache_exact_hits + self._cache_similar_hits
+            cache_total = cache_hits + self._cache_misses
             batches = sum(self._batch_sizes.values())
             batched_requests = sum(
                 size * count for size, count in self._batch_sizes.items()
@@ -107,11 +137,20 @@ class ServeMetrics:
                     )),
                 },
                 "cache": {
-                    "hits": self._cache_hits,
+                    # "hits" (both tiers combined) and "hit_rate" predate
+                    # the tiered cache and stay for dashboard compat.
+                    "hits": cache_hits,
+                    "exact_hits": self._cache_exact_hits,
+                    "similar_hits": self._cache_similar_hits,
                     "misses": self._cache_misses,
                     "hit_rate": (
-                        self._cache_hits / cache_total if cache_total else 0.0
+                        cache_hits / cache_total if cache_total else 0.0
                     ),
+                    "similarity_histogram": {
+                        edge: count for edge, count in sorted(
+                            self._similarity_bins.items()
+                        )
+                    },
                 },
                 "batches": {
                     "count": batches,

@@ -1,0 +1,168 @@
+"""Corpus dedup: near-duplicate clusters over extracted ACFG corpora.
+
+Repacked and junk-padded variants do not just waste serve-time compute —
+they poison *training*: near-duplicates straddling a train/validation
+split leak labels and inflate every score in Tables III-V.  This module
+runs the same topology-aware fingerprint the serving cache tier uses
+over a whole corpus and reports (or drops) near-duplicate clusters
+before the corpus reaches the trainer.
+
+Clustering is greedy first-seen-keeps: samples are fingerprinted in
+corpus order; a sample whose estimated Jaccard against an earlier
+*keeper* clears the threshold joins that keeper's cluster, otherwise it
+becomes a keeper itself.  Deterministic (fixed fingerprint and minhash
+seeds, stable iteration order), single pass, O(n) LSH lookups.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.features.acfg import ACFG
+from repro.similarity.fingerprint import (
+    DEFAULT_WL_ITERATIONS,
+    fingerprint_acfg,
+)
+from repro.similarity.lsh import (
+    DEFAULT_NUM_BANDS,
+    DEFAULT_NUM_PERMUTATIONS,
+    DEFAULT_SIMILARITY_THRESHOLD,
+    SimilarityIndex,
+)
+
+
+@dataclasses.dataclass
+class DuplicateMember:
+    """One dropped near-duplicate and its similarity to the keeper."""
+
+    name: str
+    index: int
+    similarity: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "index": self.index,
+            "similarity": round(self.similarity, 4),
+        }
+
+
+@dataclasses.dataclass
+class DuplicateCluster:
+    """A kept representative plus the near-duplicates it absorbs."""
+
+    keeper_name: str
+    keeper_index: int
+    members: List[DuplicateMember]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "keeper": self.keeper_name,
+            "keeper_index": self.keeper_index,
+            "members": [member.to_dict() for member in self.members],
+        }
+
+
+@dataclasses.dataclass
+class DedupReport:
+    """Outcome of one dedup pass over a corpus."""
+
+    total: int
+    threshold: float
+    iterations: int
+    clusters: List[DuplicateCluster]
+    kept_indices: List[int]
+
+    @property
+    def num_kept(self) -> int:
+        return len(self.kept_indices)
+
+    @property
+    def num_dropped(self) -> int:
+        return self.total - self.num_kept
+
+    def dropped(self) -> List[DuplicateMember]:
+        """Every dropped member, in corpus order."""
+        members = [m for cluster in self.clusters for m in cluster.members]
+        members.sort(key=lambda member: member.index)
+        return members
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "kept": self.num_kept,
+            "dropped": self.num_dropped,
+            "threshold": self.threshold,
+            "iterations": self.iterations,
+            "clusters": [cluster.to_dict() for cluster in self.clusters],
+        }
+
+
+def find_near_duplicates(
+    acfgs: Sequence[ACFG],
+    threshold: float = DEFAULT_SIMILARITY_THRESHOLD,
+    iterations: int = DEFAULT_WL_ITERATIONS,
+    num_permutations: int = DEFAULT_NUM_PERMUTATIONS,
+    num_bands: int = DEFAULT_NUM_BANDS,
+) -> DedupReport:
+    """Cluster ``acfgs`` into keepers and near-duplicate members.
+
+    The first sample of each cluster (corpus order) is the keeper;
+    labels are deliberately ignored — two near-identical graphs carrying
+    *different* labels are exactly the leakage/relabeling cases a human
+    should see in the report.
+    """
+    index = SimilarityIndex(
+        threshold=threshold,
+        iterations=iterations,
+        num_permutations=num_permutations,
+        num_bands=num_bands,
+        max_entries=max(len(acfgs), 1),
+    )
+    clusters: Dict[int, DuplicateCluster] = {}
+    kept: List[int] = []
+    for position, acfg in enumerate(acfgs):
+        name = acfg.name or f"sample-{position:06d}"
+        signature = index.signature(
+            fingerprint_acfg(acfg, iterations=iterations)
+        )
+        match = index.query(signature)
+        if match is not None:
+            keeper_index: int = match.payload
+            cluster = clusters.get(keeper_index)
+            if cluster is None:
+                keeper = acfgs[keeper_index]
+                cluster = DuplicateCluster(
+                    keeper_name=keeper.name or f"sample-{keeper_index:06d}",
+                    keeper_index=keeper_index,
+                    members=[],
+                )
+                clusters[keeper_index] = cluster
+            cluster.members.append(
+                DuplicateMember(
+                    name=name, index=position, similarity=match.similarity
+                )
+            )
+            continue
+        index.insert(str(position), signature, position)
+        kept.append(position)
+    ordered: List[DuplicateCluster] = [
+        clusters[keeper_index] for keeper_index in sorted(clusters)
+    ]
+    return DedupReport(
+        total=len(acfgs),
+        threshold=threshold,
+        iterations=iterations,
+        clusters=ordered,
+        kept_indices=kept,
+    )
+
+
+def keeper_of(report: DedupReport, index: int) -> Optional[str]:
+    """The keeper name a dropped ``index`` was clustered under."""
+    for cluster in report.clusters:
+        for member in cluster.members:
+            if member.index == index:
+                return cluster.keeper_name
+    return None

@@ -1,0 +1,46 @@
+"""Shared fixtures for the similarity-subsystem tests.
+
+Extraction of the synthetic corpus dominates wall-clock here, so the
+base ACFGs (and their junk-code variants) are built once per session
+and treated as read-only by every test.
+"""
+
+import pytest
+
+from repro.datasets.mskcfg import MSKCFG_PROFILES, generate_mskcfg_sample
+from repro.datasets.synthetic_asm import ObfuscationKnobs
+from repro.features.pipeline import AcfgPipeline
+
+#: Families exercised by the property tests (a spread of profiles).
+FAMILIES = ("Ramnit", "Lollipop", "Kelihos_ver3", "Vundo", "Gatak")
+
+
+def extract_acfg(family, index, knobs=None):
+    """One extracted ACFG, regenerated bit-identically per call."""
+    name, text, label = generate_mskcfg_sample(
+        family, index, seed=0, knobs=knobs
+    )
+    result = AcfgPipeline().extract_from_texts([(name, text, label)])
+    assert not result.failures
+    return result.acfgs[0]
+
+
+def junk_variant(family, index, extra_junk):
+    """The same sample re-obfuscated with more junk-code insertion."""
+    base = MSKCFG_PROFILES[family].junk_probability
+    knobs = ObfuscationKnobs(
+        junk_probability=min(0.95, base + extra_junk)
+    )
+    return extract_acfg(family, index, knobs=knobs)
+
+
+@pytest.fixture(scope="session")
+def base_acfgs():
+    """{family: ACFG} — sample 0 of each test family."""
+    return {family: extract_acfg(family, 0) for family in FAMILIES}
+
+
+@pytest.fixture(scope="session")
+def variant_acfgs():
+    """{family: ACFG} — junk-code variants of each family's sample 0."""
+    return {family: junk_variant(family, 0, 0.25) for family in FAMILIES}

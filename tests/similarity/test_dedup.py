@@ -1,0 +1,63 @@
+"""Corpus dedup: greedy first-seen-keeps clustering over ACFG lists."""
+
+from repro.similarity import find_near_duplicates, keeper_of
+
+from tests.similarity.conftest import extract_acfg, junk_variant
+
+
+class TestFindNearDuplicates:
+    def test_variants_cluster_under_their_first_seen_keeper(self):
+        corpus = [
+            extract_acfg("Ramnit", 0),
+            extract_acfg("Lollipop", 0),
+            junk_variant("Ramnit", 0, 0.2),
+            junk_variant("Lollipop", 0, 0.2),
+            extract_acfg("Kelihos_ver3", 0),
+        ]
+        report = find_near_duplicates(corpus)
+        assert report.total == 5
+        assert report.kept_indices == [0, 1, 4]
+        assert report.num_dropped == 2
+        dropped = {member.index for member in report.dropped()}
+        assert dropped == {2, 3}
+        assert keeper_of(report, 2) == corpus[0].name
+        assert keeper_of(report, 3) == corpus[1].name
+        for cluster in report.clusters:
+            for member in cluster.members:
+                assert member.similarity >= report.threshold
+
+    def test_clean_corpus_reports_no_clusters(self):
+        corpus = [
+            extract_acfg("Ramnit", 0),
+            extract_acfg("Ramnit", 1),
+            extract_acfg("Gatak", 0),
+        ]
+        report = find_near_duplicates(corpus)
+        assert report.clusters == []
+        assert report.kept_indices == [0, 1, 2]
+        assert report.num_dropped == 0
+        assert keeper_of(report, 0) is None
+
+    def test_report_serializes_to_plain_json_types(self):
+        corpus = [
+            extract_acfg("Vundo", 0),
+            junk_variant("Vundo", 0, 0.2),
+        ]
+        payload = find_near_duplicates(corpus).to_dict()
+        assert payload["total"] == 2
+        assert payload["kept"] == 1
+        assert payload["dropped"] == 1
+        cluster = payload["clusters"][0]
+        assert cluster["keeper"] == corpus[0].name
+        member = cluster["members"][0]
+        assert set(member) == {"name", "index", "similarity"}
+
+    def test_determinism_across_runs(self):
+        corpus = [
+            extract_acfg("Gatak", 0),
+            junk_variant("Gatak", 0, 0.25),
+            extract_acfg("Lollipop", 1),
+        ]
+        first = find_near_duplicates(corpus).to_dict()
+        second = find_near_duplicates(corpus).to_dict()
+        assert first == second

@@ -1,0 +1,138 @@
+"""SimilarityIndex: lookup semantics, LRU bounds, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import SimilarityError
+from repro.similarity import SimilarityIndex, fingerprint_acfg
+
+from tests.similarity.test_fingerprint import _random_acfg
+
+
+def _signed(index, seed):
+    return index.signature(fingerprint_acfg(_random_acfg(seed)))
+
+
+class TestLookup:
+    def test_identical_signature_is_a_full_match(self):
+        index = SimilarityIndex()
+        signature = _signed(index, 0)
+        index.insert("a", signature, payload={"family": "Ramnit"})
+        match = index.query(signature)
+        assert match is not None
+        assert match.key == "a"
+        assert match.payload == {"family": "Ramnit"}
+        assert match.similarity == pytest.approx(1.0)
+
+    def test_dissimilar_signature_misses(self):
+        index = SimilarityIndex()
+        index.insert("a", _signed(index, 0), payload=None)
+        assert index.query(_signed(index, 99)) is None
+
+    def test_threshold_gates_candidates(self):
+        # Even a bucket collision must clear the threshold: an index
+        # demanding perfect similarity rejects near-misses.
+        strict = SimilarityIndex(threshold=1.0)
+        lax = SimilarityIndex(threshold=0.05)
+        signature = _signed(strict, 0)
+        near = _signed(strict, 1)
+        strict.insert("a", signature, payload=None)
+        lax.insert("a", signature, payload=None)
+        assert strict.query(near) is None
+        hit = lax.query(signature)
+        assert hit is not None and hit.key == "a"
+
+    def test_best_of_multiple_candidates_wins(self):
+        index = SimilarityIndex(threshold=0.05)
+        exact = _signed(index, 0)
+        index.insert("other", _signed(index, 1), payload=None)
+        index.insert("same", exact, payload=None)
+        match = index.query(exact)
+        assert match is not None
+        assert match.key == "same"
+
+
+class TestBounds:
+    def test_lru_eviction_removes_oldest(self):
+        index = SimilarityIndex(max_entries=2)
+        sig_a, sig_b, sig_c = (_signed(index, s) for s in (0, 1, 2))
+        index.insert("a", sig_a, payload=None)
+        index.insert("b", sig_b, payload=None)
+        index.insert("c", sig_c, payload=None)
+        assert len(index) == 2
+        assert index.query(sig_a) is None
+        assert index.query(sig_b).key == "b"
+        assert index.query(sig_c).key == "c"
+        assert index.info()["evictions"] == 1
+
+    def test_query_hit_refreshes_recency(self):
+        index = SimilarityIndex(max_entries=2)
+        sig_a, sig_b, sig_c = (_signed(index, s) for s in (0, 1, 2))
+        index.insert("a", sig_a, payload=None)
+        index.insert("b", sig_b, payload=None)
+        index.query(sig_a)  # refresh "a"; "b" becomes the LRU entry
+        index.insert("c", sig_c, payload=None)
+        assert index.query(sig_a).key == "a"
+        assert index.query(sig_b) is None
+
+    def test_reinsert_replaces_existing_key(self):
+        index = SimilarityIndex()
+        sig_old, sig_new = _signed(index, 0), _signed(index, 1)
+        index.insert("a", sig_old, payload="old")
+        index.insert("a", sig_new, payload="new")
+        assert len(index) == 1
+        assert index.query(sig_new).payload == "new"
+        assert index.query(sig_old) is None
+
+
+class TestValidation:
+    def test_threshold_out_of_range_rejected(self):
+        for threshold in (0.0, -0.1, 1.5):
+            with pytest.raises(SimilarityError):
+                SimilarityIndex(threshold=threshold)
+
+    def test_bands_must_divide_permutations(self):
+        with pytest.raises(SimilarityError):
+            SimilarityIndex(num_permutations=128, num_bands=33)
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(SimilarityError):
+            SimilarityIndex(max_entries=0)
+
+    def test_iteration_mismatch_rejected_at_signing(self):
+        index = SimilarityIndex(iterations=3)
+        shallow = fingerprint_acfg(_random_acfg(0), iterations=1)
+        with pytest.raises(SimilarityError):
+            index.signature(shallow)
+
+
+class TestThreadSafety:
+    def test_concurrent_insert_and_query(self):
+        index = SimilarityIndex(max_entries=16, threshold=0.05)
+        signatures = [_signed(index, seed) for seed in range(8)]
+        errors = []
+
+        def hammer(worker):
+            try:
+                for round_index in range(50):
+                    seed = (worker + round_index) % len(signatures)
+                    index.insert(
+                        f"{worker}-{seed}", signatures[seed], payload=seed
+                    )
+                    index.query(signatures[(seed + 1) % len(signatures)])
+            except Exception as exc:  # repro: allow[broad-except] — surfaced via errors list
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(index) <= 16
+        info = index.info()
+        assert info["entries"] <= info["bound"]

@@ -1,0 +1,69 @@
+"""Calibration properties of the fingerprint on the synthetic corpus.
+
+These pin the separation the serving tier and dedup rely on: junk-code
+re-obfuscations of one sample stay *above* the default threshold while
+distinct samples — even of the same family — stay *below* it.  The
+corridor was measured at variants >= ~0.57 estimated Jaccard versus
+distinct <= ~0.38, with the default threshold 0.5 in between; the
+asserts leave slack inside that corridor so a marginal regeneration
+drift fails loudly only when the separation actually degrades.
+"""
+
+from repro.similarity import (
+    DEFAULT_SIMILARITY_THRESHOLD,
+    MinHasher,
+    estimated_jaccard,
+    fingerprint_acfg,
+)
+
+from tests.similarity.conftest import FAMILIES, extract_acfg
+
+
+def _estimate(acfg_a, acfg_b):
+    hasher = MinHasher()
+    return estimated_jaccard(
+        hasher.signature(fingerprint_acfg(acfg_a)),
+        hasher.signature(fingerprint_acfg(acfg_b)),
+    )
+
+
+class TestNearDuplicateSeparation:
+    def test_junk_variants_score_above_the_default_threshold(
+        self, base_acfgs, variant_acfgs
+    ):
+        for family in FAMILIES:
+            estimate = _estimate(base_acfgs[family], variant_acfgs[family])
+            assert estimate >= DEFAULT_SIMILARITY_THRESHOLD, (
+                f"{family} junk variant scored {estimate:.3f}, below the "
+                f"default threshold {DEFAULT_SIMILARITY_THRESHOLD}"
+            )
+
+    def test_junk_variants_keep_exact_jaccard_high(
+        self, base_acfgs, variant_acfgs
+    ):
+        for family in FAMILIES:
+            exact = fingerprint_acfg(base_acfgs[family]).jaccard(
+                fingerprint_acfg(variant_acfgs[family])
+            )
+            assert exact >= DEFAULT_SIMILARITY_THRESHOLD
+
+    def test_distinct_families_score_below_the_default_threshold(
+        self, base_acfgs
+    ):
+        families = list(FAMILIES)
+        for position, family_a in enumerate(families):
+            for family_b in families[position + 1:]:
+                estimate = _estimate(
+                    base_acfgs[family_a], base_acfgs[family_b]
+                )
+                assert estimate < DEFAULT_SIMILARITY_THRESHOLD, (
+                    f"{family_a} vs {family_b} scored {estimate:.3f}, at or "
+                    f"above the default threshold"
+                )
+
+    def test_same_family_different_sample_scores_below_threshold(self):
+        # The tier must not conflate *different* programs of one family:
+        # that would silently serve sample A's probabilities for B.
+        first = extract_acfg("Ramnit", 0)
+        second = extract_acfg("Ramnit", 1)
+        assert _estimate(first, second) < DEFAULT_SIMILARITY_THRESHOLD

@@ -207,6 +207,91 @@ class TestClassify:
                      listing_file, str(twin)]) == 0
         assert "(cached)" in capsys.readouterr().out
 
+    def test_cache_size_flag_reaches_the_engine(self, published):
+        from repro.cli import _serving_engine, build_parser
+
+        registry, _ = published
+        base = ["classify", "--registry", registry, "--model", "demo"]
+        sized = _serving_engine(build_parser().parse_args(
+            base + ["--cache-size", "0", "x.asm"]
+        ))
+        assert sized.cache_info() == {"entries": 0, "bound": 0}
+        default = _serving_engine(build_parser().parse_args(
+            base + ["x.asm"]
+        ))
+        assert default.cache_info()["bound"] == 1024
+
+    def test_similar_threshold_reaches_the_engine(self, published):
+        from repro.cli import _serving_engine, build_parser
+
+        registry, _ = published
+        engine = _serving_engine(build_parser().parse_args(
+            ["classify", "--registry", registry, "--model", "demo",
+             "--similar-threshold", "0.45", "--fingerprint-iterations", "2",
+             "x.asm"]
+        ))
+        info = engine.cache_info()["similarity"]
+        assert info["threshold"] == pytest.approx(0.45)
+        assert info["iterations"] == 2
+
+    def test_similar_hits_are_flagged_in_the_output(
+        self, published, tmp_path, capsys, monkeypatch
+    ):
+        # The similarity tier only serves *remembered* predictions, so a
+        # warm engine stands in for earlier traffic and the CLI call
+        # classifies just the near-duplicate.
+        import repro.cli as cli_module
+        from repro.datasets.mskcfg import (
+            MSKCFG_PROFILES,
+            generate_mskcfg_sample,
+        )
+        from repro.datasets.synthetic_asm import ObfuscationKnobs
+        from repro.serve import InferenceEngine
+
+        registry, _ = published
+        _, base_text, _ = generate_mskcfg_sample("Ramnit", 50, seed=0)
+        knobs = ObfuscationKnobs(
+            junk_probability=MSKCFG_PROFILES["Ramnit"].junk_probability
+            + 0.25
+        )
+        _, variant_text, _ = generate_mskcfg_sample(
+            "Ramnit", 50, seed=0, knobs=knobs
+        )
+        engine = InferenceEngine.from_registry(
+            registry, "demo", similar_threshold=0.45
+        )
+        engine.classify_text(base_text, "base")
+        monkeypatch.setattr(
+            cli_module, "_serving_engine", lambda args: engine
+        )
+        variant = tmp_path / "variant.asm"
+        variant.write_text(variant_text)
+        capsys.readouterr()
+        assert main(["classify", "--registry", registry, "--model", "demo",
+                     "--similar-threshold", "0.45", str(variant)]) == 0
+        out = capsys.readouterr().out
+        assert "(similar " in out
+        assert "(cached)" not in out
+
+    def test_serve_similarity_parser_wiring(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--registry", "r", "--model", "demo",
+             "--cache-size", "64", "--similar-threshold", "0.6",
+             "--fingerprint-iterations", "2"]
+        )
+        assert args.cache_size == 64
+        assert args.similar_threshold == 0.6  # repro: allow[float-equality] — argparse parses the literal, bit-exact
+        assert args.fingerprint_iterations == 2
+        # All three default to "engine decides" / tier off.
+        defaults = build_parser().parse_args(
+            ["serve", "--registry", "r", "--model", "demo"]
+        )
+        assert defaults.cache_size is None
+        assert defaults.similar_threshold is None
+        assert defaults.fingerprint_iterations is None
+
     def test_legacy_model_dir_warns_but_classifies(
         self, published, listing_file, capsys
     ):
@@ -271,6 +356,80 @@ class TestClassify:
             assert build_parser().parse_args(
                 ["rollout", action]
             ).action == action
+
+
+class TestDedup:
+    @pytest.fixture()
+    def corpus_dir(self, tmp_path):
+        """A dataset cache with one junk-code near-duplicate inside."""
+        from repro.datasets.cache import save_dataset
+        from repro.datasets.loader import MalwareDataset
+        from repro.datasets.mskcfg import (
+            MSKCFG_PROFILES,
+            generate_mskcfg_sample,
+        )
+        from repro.datasets.synthetic_asm import ObfuscationKnobs
+        from repro.features.pipeline import AcfgPipeline
+
+        knobs = ObfuscationKnobs(
+            junk_probability=MSKCFG_PROFILES["Ramnit"].junk_probability
+            + 0.2
+        )
+        texts = [
+            generate_mskcfg_sample("Ramnit", 0, seed=0),
+            generate_mskcfg_sample("Lollipop", 0, seed=0),
+            generate_mskcfg_sample("Ramnit", 0, seed=0, knobs=knobs),
+        ]
+        named = [
+            (name if i < 2 else name + "__variant", text, 0)
+            for i, (name, text, _) in enumerate(texts)
+        ]
+        result = AcfgPipeline().extract_from_texts(named)
+        directory = str(tmp_path / "cache")
+        save_dataset(
+            MalwareDataset(acfgs=result.acfgs, family_names=["all"]),
+            directory,
+        )
+        return directory
+
+    def test_report_lists_duplicates_and_exits_nonzero(
+        self, corpus_dir, capsys
+    ):
+        assert main(["dedup", corpus_dir]) == 1
+        captured = capsys.readouterr()
+        assert "DROPPED Ramnit_00000__variant [near-duplicate]:" in (
+            captured.err
+        )
+        assert "estimated Jaccard" in captured.err
+        assert "1 near-duplicates" in captured.out
+
+    def test_apply_rewrites_the_cache_and_a_rerun_is_clean(
+        self, corpus_dir, capsys
+    ):
+        from repro.datasets.cache import load_dataset
+
+        assert main(["dedup", corpus_dir, "--apply"]) == 0
+        assert "rewrote" in capsys.readouterr().out
+        assert len(load_dataset(corpus_dir).acfgs) == 2
+        assert main(["dedup", corpus_dir]) == 0
+        captured = capsys.readouterr()
+        assert "DROPPED" not in captured.err
+        assert "0 near-duplicates" in captured.out
+
+    def test_output_writes_the_cluster_report(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        report_path = str(tmp_path / "report.json")
+        main(["dedup", corpus_dir, "--output", report_path])
+        with open(report_path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["total"] == 3
+        assert report["dropped"] == 1
+        assert report["clusters"][0]["keeper"] == "Ramnit_00000"
+
+    def test_strict_threshold_finds_nothing(self, corpus_dir, capsys):
+        assert main(["dedup", corpus_dir, "--threshold", "0.999"]) == 0
+        assert "0 near-duplicates" in capsys.readouterr().out
 
 
 class TestSweep:
