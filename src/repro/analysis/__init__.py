@@ -5,15 +5,24 @@ An AST-based lint engine whose rules encode the invariants the training
 can check: deterministic seeding, picklability across process
 boundaries, the structured exception taxonomy, staged atomic writes,
 float-equality discipline in tests, and lock discipline on shared
-serving counters.  See ``docs/USAGE.md`` §12 for the workflow and
-DESIGN.md for the rule-to-invariant table.
+serving counters.  The flow-aware core adds per-function control-flow
+graphs (:mod:`repro.analysis.cfg`), a project-wide call graph
+(:mod:`repro.analysis.callgraph`), and interprocedural rules over both:
+lock-ordering/deadlock analysis, fault-boundary exception contracts,
+and CFG path proofs for resource release.  See ``docs/USAGE.md`` §12
+for the workflow and DESIGN.md for the rule-to-invariant table.
 """
 
 from __future__ import annotations
 
+from repro.analysis.cache import LintCache, engine_fingerprint
+from repro.analysis.callgraph import CallGraph, FunctionInfo, ModuleInfo
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph, build_cfg
 from repro.analysis.engine import (
     LintEngine,
     ModuleSource,
+    ProjectContext,
+    ProjectRule,
     Rule,
     register_rule,
     registered_rules,
@@ -23,19 +32,31 @@ from repro.analysis.findings import (
     apply_baseline,
     findings_to_json,
     format_findings,
+    format_findings_github,
     load_baseline,
     write_baseline,
 )
 from repro.analysis.pragmas import pragma_rules_by_line
 
 __all__ = [
+    "BasicBlock",
+    "CallGraph",
+    "ControlFlowGraph",
     "Finding",
+    "FunctionInfo",
+    "LintCache",
     "LintEngine",
+    "ModuleInfo",
     "ModuleSource",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "apply_baseline",
+    "build_cfg",
+    "engine_fingerprint",
     "findings_to_json",
     "format_findings",
+    "format_findings_github",
     "load_baseline",
     "pragma_rules_by_line",
     "register_rule",

@@ -1,0 +1,155 @@
+"""sha256-keyed incremental result cache for the lint engine.
+
+Warm CI runs should not re-analyze files that have not changed.  Every
+per-file result is stored under a key derived from the file path, the
+sha256 of its content, and the selected rule ids; the whole-program
+(project-rule) result is stored under a digest of every analyzed file's
+(path, content-digest) pair, since any edit anywhere can change
+interprocedural conclusions.  The cache file additionally records a
+fingerprint of the analyzer's own sources — upgrading ``repro.analysis``
+invalidates everything, so stale results can never mask a new rule.
+
+An unreadable or mismatched cache file is treated as empty, never an
+error: the cache is an accelerator, not a correctness dependency.  On
+save, only entries touched by the current run are kept, so the file
+tracks the live tree instead of accumulating dead digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Cache schema version; bumped on incompatible format changes.
+CACHE_VERSION = 1
+
+_ENGINE_FINGERPRINT: Optional[str] = None
+
+
+def engine_fingerprint() -> str:
+    """sha256 over the analyzer's own sources (computed once per process).
+
+    Keyed into every cache lookup so editing any rule, the engine, or
+    the CFG/call-graph core invalidates prior results wholesale.
+    """
+    global _ENGINE_FINGERPRINT
+    if _ENGINE_FINGERPRINT is None:
+        package_dir = os.path.dirname(os.path.abspath(__file__))
+        hasher = hashlib.sha256()
+        for root, dirnames, filenames in os.walk(package_dir):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                full = os.path.join(root, name)
+                relative = os.path.relpath(full, package_dir)
+                hasher.update(relative.encode("utf-8"))
+                with open(full, "rb") as handle:
+                    hasher.update(handle.read())
+        _ENGINE_FINGERPRINT = hasher.hexdigest()
+    return _ENGINE_FINGERPRINT
+
+
+class LintCache:
+    """Content-addressed findings store backing ``lint --cache``."""
+
+    def __init__(self, path: str, entries: Dict[str, List[Dict[str, object]]]):
+        self.path = path
+        self._entries = entries
+        self._touched: Set[str] = set()
+
+    # -- keys ----------------------------------------------------------
+
+    @staticmethod
+    def digest(text: str) -> str:
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def file_key(path: str, content_digest: str, signature: str) -> str:
+        slug = path.replace(os.sep, "/")
+        return f"file:{slug}:{content_digest}:{signature}"
+
+    @staticmethod
+    def tree_key(
+        digests: Sequence[Tuple[str, str]], signature: str
+    ) -> str:
+        hasher = hashlib.sha256()
+        for path, content_digest in sorted(digests):
+            slug = path.replace(os.sep, "/")
+            hasher.update(f"{slug}:{content_digest}\n".encode("utf-8"))
+        return f"tree:{hasher.hexdigest()}:{signature}"
+
+    # -- persistence ---------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "LintCache":
+        """Read a cache file; anything unusable yields an empty cache."""
+        entries: Dict[str, List[Dict[str, object]]] = {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            payload = None
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == CACHE_VERSION
+            and payload.get("fingerprint") == engine_fingerprint()
+            and isinstance(payload.get("entries"), dict)
+        ):
+            for key, value in payload["entries"].items():
+                if isinstance(key, str) and isinstance(value, list):
+                    entries[key] = value
+        return cls(path, entries)
+
+    def save(self) -> None:
+        """Persist entries touched this run (best effort)."""
+        payload = {
+            "version": CACHE_VERSION,
+            "fingerprint": engine_fingerprint(),
+            "entries": {
+                key: self._entries[key]
+                for key in sorted(self._touched)
+                if key in self._entries
+            },
+        }
+        parent = os.path.dirname(os.path.abspath(self.path))
+        try:
+            os.makedirs(parent, exist_ok=True)
+            with open(self.path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+        except OSError:
+            pass  # a cache that cannot be written is simply not a cache
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, key: str) -> Optional[List[Finding]]:
+        raw = self._entries.get(key)
+        if raw is None:
+            return None
+        self._touched.add(key)
+        findings: List[Finding] = []
+        for entry in raw:
+            try:
+                findings.append(
+                    Finding(
+                        path=str(entry["path"]),
+                        line=int(entry["line"]),  # type: ignore[call-overload]
+                        col=int(entry["col"]),  # type: ignore[call-overload]
+                        rule=str(entry["rule"]),
+                        message=str(entry["message"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError):
+                return None  # malformed entry: treat as a miss
+        return findings
+
+    def put(self, key: str, findings: Sequence[Finding]) -> None:
+        self._entries[key] = [
+            dict(finding.to_dict()) for finding in findings
+        ]
+        self._touched.add(key)

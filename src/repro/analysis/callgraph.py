@@ -1,0 +1,433 @@
+"""Project-wide call graph with conservative name resolution.
+
+The interprocedural rules (lock-order, fault-contract) need to answer
+"which project function does this call reach" across module boundaries:
+``self.metrics.observe_request(...)`` inside ``FleetDispatcher`` must
+resolve to ``ServeMetrics.observe_request`` so the analyzer can see the
+metrics lock acquired under the dispatcher lock.  This module indexes
+every module under analysis — import alias tables, top-level functions,
+classes with their methods, base classes, and inferred attribute types
+(``self.x = ClassName(...)``, annotated parameters) — and resolves
+dotted call chains through that index.
+
+Resolution is deliberately *conservative*: a call that cannot be
+resolved inside the analyzed project returns ``None`` and rules must
+treat it as opaque (it may block, it may raise — the rules decide which
+direction is safe).  Nothing here imports or executes analyzed code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Nodes whose bodies do not execute where they appear — call collection
+#: must not descend into them.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def module_name_for_slug(slug: str) -> str:
+    """``src/repro/serve/fleet.py`` → ``repro.serve.fleet``.
+
+    Leading directories up to a ``src`` component are dropped; without
+    one the whole relative path becomes the module path.  ``__init__``
+    collapses onto the package name.
+    """
+    parts = [part for part in slug.split("/") if part not in ("", ".")]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "<module>"
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function or method."""
+
+    qualname: str
+    name: str
+    node: FunctionNode
+    module: str
+    slug: str
+    class_name: Optional[str] = None
+
+
+@dataclass
+class ClassInfo:
+    """One indexed class: methods, resolved bases, attribute types."""
+
+    qualname: str
+    name: str
+    module: str
+    slug: str
+    node: ast.ClassDef
+    base_names: List[Tuple[str, ...]] = field(default_factory=list)
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One indexed module: import aliases and top-level definitions."""
+
+    name: str
+    slug: str
+    tree: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, str] = field(default_factory=dict)
+
+
+def dotted_parts(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` attribute chains as a name tuple; ``None`` when dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Calls executed *in* ``node``'s own body (nested scopes excluded)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _SCOPE_NODES):
+            continue
+        if isinstance(child, ast.Call):
+            yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _annotation_parts(annotation: ast.expr) -> Optional[Tuple[str, ...]]:
+    """Best-effort class name from a type annotation expression."""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            parsed = ast.parse(annotation.value, mode="eval")
+        except SyntaxError:
+            return None
+        return _annotation_parts(parsed.body)
+    if isinstance(annotation, ast.Subscript):
+        base = dotted_parts(annotation.value)
+        if base is not None and base[-1] == "Optional":
+            if isinstance(annotation.slice, ast.expr):
+                return _annotation_parts(annotation.slice)
+        return None
+    return dotted_parts(annotation)
+
+
+class CallGraph:
+    """Name-resolution index over a set of parsed modules."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._by_node: Dict[int, FunctionInfo] = {}
+        self._local_types: Dict[int, Dict[str, str]] = {}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: Sequence[Tuple[str, ast.Module]]) -> "CallGraph":
+        graph = cls()
+        for slug, tree in modules:
+            graph._index_module(slug, tree)
+        graph._resolve_bases()
+        graph._infer_attr_types()
+        return graph
+
+    def _index_module(self, slug: str, tree: ast.Module) -> None:
+        name = module_name_for_slug(slug)
+        info = ModuleInfo(name=name, slug=slug, tree=tree)
+        # Imports are collected from the whole module, not just the top
+        # level — deferred function-body imports (the worker-main idiom)
+        # bind the same names for resolution purposes.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        info.imports[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        info.imports[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports stay unresolved
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    info.imports[bound] = f"{node.module}.{alias.name}"
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{name}.{node.name}"
+                func = FunctionInfo(
+                    qualname=qualname,
+                    name=node.name,
+                    node=node,
+                    module=name,
+                    slug=slug,
+                )
+                info.functions[node.name] = qualname
+                self.functions[qualname] = func
+                self._by_node[id(node)] = func
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(info, node)
+        self.modules[name] = info
+
+    def _index_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        cls_info = ClassInfo(
+            qualname=qualname,
+            name=node.name,
+            module=module.name,
+            slug=module.slug,
+            node=node,
+        )
+        for base in node.bases:
+            parts = dotted_parts(base)
+            if parts is not None:
+                cls_info.base_names.append(parts)
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_qual = f"{qualname}.{child.name}"
+                func = FunctionInfo(
+                    qualname=method_qual,
+                    name=child.name,
+                    node=child,
+                    module=module.name,
+                    slug=module.slug,
+                    class_name=node.name,
+                )
+                cls_info.methods[child.name] = func
+                self.functions[method_qual] = func
+                self._by_node[id(child)] = func
+            elif isinstance(child, ast.AnnAssign) and isinstance(
+                child.target, ast.Name
+            ):
+                parts = _annotation_parts(child.annotation)
+                if parts is not None:
+                    resolved = self._pending_name(module, parts)
+                    if resolved is not None:
+                        cls_info.attr_types[child.target.id] = resolved
+        module.classes[node.name] = qualname
+        self.classes[qualname] = cls_info
+
+    def _pending_name(
+        self, module: ModuleInfo, parts: Tuple[str, ...]
+    ) -> Optional[str]:
+        """Dotted name → candidate qualname (existence checked later)."""
+        head = parts[0]
+        if head in module.imports:
+            return ".".join((module.imports[head], *parts[1:]))
+        if head in module.classes or head in module.functions:
+            return ".".join((module.name, *parts))
+        return None
+
+    def _resolve_bases(self) -> None:
+        for cls_info in self.classes.values():
+            module = self.modules[cls_info.module]
+            for parts in cls_info.base_names:
+                qualname = self._pending_name(module, parts)
+                if qualname is not None and qualname in self.classes:
+                    cls_info.bases.append(qualname)
+
+    def _infer_attr_types(self) -> None:
+        for cls_info in self.classes.values():
+            for method in cls_info.methods.values():
+                locals_types = self.local_types(method)
+                for stmt in ast.walk(method.node):
+                    target: Optional[ast.expr] = None
+                    value: Optional[ast.expr] = None
+                    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                        target, value = stmt.targets[0], stmt.value
+                    elif isinstance(stmt, ast.AnnAssign):
+                        target, value = stmt.target, stmt.value
+                        parts = _annotation_parts(stmt.annotation)
+                        if (
+                            parts is not None
+                            and isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            module = self.modules[cls_info.module]
+                            resolved = self._pending_name(module, parts)
+                            if resolved in self.classes:
+                                cls_info.attr_types.setdefault(
+                                    target.attr, str(resolved)
+                                )
+                    if (
+                        target is None
+                        or value is None
+                        or not isinstance(target, ast.Attribute)
+                        or not isinstance(target.value, ast.Name)
+                        or target.value.id != "self"
+                    ):
+                        continue
+                    inferred = self._value_type(method, value, locals_types)
+                    if inferred is not None:
+                        cls_info.attr_types.setdefault(target.attr, inferred)
+
+    def _value_type(
+        self,
+        scope: FunctionInfo,
+        value: ast.expr,
+        locals_types: Dict[str, str],
+    ) -> Optional[str]:
+        """Class qualname an assigned value evidently constructs/carries."""
+        if isinstance(value, ast.Name):
+            return locals_types.get(value.id)
+        module = self.modules[scope.module]
+        for node in ast.walk(value):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = dotted_parts(node.func)
+            if parts is None:
+                continue
+            qualname = self._pending_name(module, parts)
+            if qualname is not None and qualname in self.classes:
+                return qualname
+        return None
+
+    # -- resolution ----------------------------------------------------
+
+    def function_for_node(self, node: FunctionNode) -> Optional[FunctionInfo]:
+        return self._by_node.get(id(node))
+
+    def local_types(self, scope: FunctionInfo) -> Dict[str, str]:
+        """Variable → class qualname map for one function scope."""
+        cached = self._local_types.get(id(scope.node))
+        if cached is not None:
+            return cached
+        module = self.modules[scope.module]
+        types: Dict[str, str] = {}
+        args = scope.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.annotation is None:
+                continue
+            parts = _annotation_parts(arg.annotation)
+            if parts is None:
+                continue
+            qualname = self._pending_name(module, parts)
+            if qualname is not None and qualname in self.classes:
+                types[arg.arg] = qualname
+        for stmt in ast.walk(scope.node):
+            target: Optional[ast.expr] = None
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                parts = _annotation_parts(stmt.annotation)
+                if parts is not None:
+                    qualname = self._pending_name(module, parts)
+                    if qualname is not None and qualname in self.classes:
+                        types.setdefault(stmt.target.id, qualname)
+                continue
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(stmt.value, ast.Call):
+                parts = dotted_parts(stmt.value.func)
+                if parts is None:
+                    continue
+                qualname = self._pending_name(module, parts)
+                if qualname is not None and qualname in self.classes:
+                    types.setdefault(target.id, qualname)
+        self._local_types[id(scope.node)] = types
+        return types
+
+    def method(self, class_qualname: str, name: str) -> Optional[FunctionInfo]:
+        """Look up ``name`` on a class and its (resolved) base chain."""
+        seen: Set[str] = set()
+        queue: List[str] = [class_qualname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls_info = self.classes.get(current)
+            if cls_info is None:
+                continue
+            if name in cls_info.methods:
+                return cls_info.methods[name]
+            queue.extend(cls_info.bases)
+        return None
+
+    def chain_owner(
+        self, scope: FunctionInfo, chain: Tuple[str, ...]
+    ) -> Optional[str]:
+        """Class qualname owning ``chain`` (e.g. ``self._replica.worker``)."""
+        if not chain:
+            return None
+        head = chain[0]
+        current: Optional[str]
+        if head == "self" and scope.class_name is not None:
+            current = f"{scope.module}.{scope.class_name}"
+        else:
+            current = self.local_types(scope).get(head)
+        if current is None:
+            return None
+        for part in chain[1:]:
+            cls_info = self.classes.get(current)
+            if cls_info is None:
+                return None
+            current = cls_info.attr_types.get(part)
+            if current is None:
+                return None
+        return current
+
+    def resolve_parts(
+        self, scope: FunctionInfo, parts: Tuple[str, ...]
+    ) -> Optional[FunctionInfo]:
+        """Resolve a dotted callable name inside ``scope``; conservative."""
+        module = self.modules.get(scope.module)
+        if module is None:
+            return None
+        if len(parts) >= 2:
+            owner = self.chain_owner(scope, parts[:-1])
+            if owner is not None:
+                return self.method(owner, parts[-1])
+        qualname = self._pending_name(module, parts)
+        if qualname is None:
+            return None
+        if qualname in self.functions:
+            return self.functions[qualname]
+        if qualname in self.classes:
+            return self.method(qualname, "__init__")
+        return None
+
+    def resolve_scope_name(
+        self, scope: FunctionInfo, parts: Tuple[str, ...]
+    ) -> Optional[str]:
+        """Candidate qualname for a dotted name as seen from ``scope``."""
+        module = self.modules.get(scope.module)
+        if module is None:
+            return None
+        return self._pending_name(module, parts)
+
+    def resolve_call(
+        self, scope: FunctionInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        parts = dotted_parts(call.func)
+        if parts is None:
+            return None
+        return self.resolve_parts(scope, parts)
+
+    def resolve_target_expr(
+        self, scope: FunctionInfo, expr: ast.expr
+    ) -> Optional[FunctionInfo]:
+        """Resolve a callable *reference* (e.g. a ``target=`` argument)."""
+        parts = dotted_parts(expr)
+        if parts is None:
+            return None
+        return self.resolve_parts(scope, parts)

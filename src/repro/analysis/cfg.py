@@ -1,0 +1,413 @@
+"""Intraprocedural control-flow graphs over Python AST.
+
+The PR-5 lint rules are per-file pattern matchers; the concurrency and
+resource rules need to reason about *paths* — can this statement
+execute while that lock is held, does every path from an acquisition
+reach a release, can this exception escape the enclosing boundary.
+This module builds a statement-precise CFG for one function:
+
+* **One statement per basic block.**  Exception edges are attached per
+  statement, so "the ``open()`` succeeded but the next line raised" is
+  a distinct path from "the ``open()`` itself raised".
+* **Branch / loop / try edges.**  ``if``/``while``/``for`` headers get
+  ``true``/``false`` edges, loop bodies get back edges, ``break`` /
+  ``continue`` / ``return`` / ``raise`` get dedicated edge kinds.
+* **Exception edges.**  Every statement that can plausibly raise gets
+  an ``exception`` edge to the innermost handler dispatch (or to the
+  synthetic ``raise_exit`` block when nothing catches).  Handler
+  dispatch only stops propagation when some handler is a catch-all
+  (bare / ``Exception`` / ``BaseException``).
+* **``finally`` routing.**  ``finally`` bodies are cloned per jump
+  kind (fall-through, exception, return, break, continue), so a
+  ``return`` inside ``try`` demonstrably passes through the cleanup
+  before reaching the function exit — which is exactly the property
+  the resource-lifecycle rule proves.
+* **``with`` regions.**  Each ``with`` item records the block set of
+  its body, so lock rules know which statements run under which
+  context manager.
+
+The graph is conservative by construction: unknown constructs become
+plain statement blocks with exception edges, never silently dropped
+flow.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+WithNode = Union[ast.With, ast.AsyncWith]
+
+#: Exception-name sets treated as catching everything.
+CATCH_ALL_NAMES = frozenset({"Exception", "BaseException"})
+
+#: Statement types that cannot raise at runtime (no exception edge).
+_NON_RAISING = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+
+@dataclass
+class BasicBlock:
+    """One CFG node: at most one source statement plus a label."""
+
+    block_id: int
+    label: str
+    statements: List[ast.stmt] = field(default_factory=list)
+    lineno: int = 0
+
+    @property
+    def statement(self) -> Optional[ast.stmt]:
+        return self.statements[0] if self.statements else None
+
+
+@dataclass(frozen=True)
+class WithRegion:
+    """One ``with`` item and the blocks executing under it."""
+
+    node: ast.stmt
+    item: ast.withitem
+    header_block: int
+    body_blocks: FrozenSet[int]
+
+
+@dataclass
+class ControlFlowGraph:
+    """Statement-precise CFG for one function body."""
+
+    entry: int
+    exit_block: int
+    raise_exit: int
+    blocks: Dict[int, BasicBlock]
+    edges: Dict[int, List[Tuple[int, str]]]
+    with_regions: List[WithRegion]
+    stmt_blocks: Dict[int, List[int]] = field(default_factory=dict)
+
+    def successors(self, block_id: int) -> Sequence[Tuple[int, str]]:
+        return self.edges.get(block_id, [])
+
+    def blocks_for(self, stmt: ast.stmt) -> List[int]:
+        """Blocks holding ``stmt`` (``finally`` cloning can yield several)."""
+        return list(self.stmt_blocks.get(id(stmt), []))
+
+    def reachable_from(
+        self, start: int, avoid: FrozenSet[int] = frozenset()
+    ) -> Set[int]:
+        """Blocks reachable from ``start`` without entering ``avoid``."""
+        seen: Set[int] = set()
+        stack: List[int] = [start]
+        while stack:
+            block = stack.pop()
+            if block in seen or block in avoid:
+                continue
+            seen.add(block)
+            for target, _kind in self.successors(block):
+                stack.append(target)
+        return seen
+
+    def find_path(
+        self,
+        starts: Sequence[int],
+        targets: FrozenSet[int],
+        avoid: FrozenSet[int] = frozenset(),
+    ) -> Optional[List[int]]:
+        """Shortest path from any start to any target skipping ``avoid``.
+
+        Returns the block-id path (start..target) or ``None``.  This is
+        the primitive behind "a path reaches the function exit without
+        passing a release".
+        """
+        parents: Dict[int, Optional[int]] = {}
+        queue: List[int] = []
+        for start in starts:
+            if start in avoid or start in parents:
+                continue
+            parents[start] = None
+            queue.append(start)
+        index = 0
+        while index < len(queue):
+            block = queue[index]
+            index += 1
+            if block in targets:
+                path: List[int] = []
+                cursor: Optional[int] = block
+                while cursor is not None:
+                    path.append(cursor)
+                    cursor = parents[cursor]
+                path.reverse()
+                return path
+            for target, _kind in self.successors(block):
+                if target in avoid or target in parents:
+                    continue
+                parents[target] = block
+                queue.append(target)
+        return None
+
+
+@dataclass(frozen=True)
+class _Context:
+    """Where the non-local edge kinds flow at the current nesting."""
+
+    exc: int
+    ret: int
+    brk: Optional[int] = None
+    cont: Optional[int] = None
+
+
+def handler_catches_all(handler: ast.ExceptHandler) -> bool:
+    """True when the handler stops any exception (bare or broad)."""
+    if handler.type is None:
+        return True
+    candidates: List[ast.expr] = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for candidate in candidates:
+        name: Optional[str] = None
+        if isinstance(candidate, ast.Name):
+            name = candidate.id
+        elif isinstance(candidate, ast.Attribute):
+            name = candidate.attr
+        if name in CATCH_ALL_NAMES:
+            return True
+    return False
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self._next_id = 0
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.edges: Dict[int, List[Tuple[int, str]]] = {}
+        self.with_regions: List[WithRegion] = []
+        self.stmt_blocks: Dict[int, List[int]] = {}
+        #: Dangling (block, edge-kind) pairs awaiting the next placed block.
+        self._preds: List[Tuple[int, str]] = []
+
+    # -- graph primitives ---------------------------------------------
+
+    def new_block(
+        self, label: str, stmt: Optional[ast.stmt] = None, lineno: int = 0
+    ) -> int:
+        block_id = self._next_id
+        self._next_id += 1
+        statements: List[ast.stmt] = []
+        if stmt is not None:
+            statements.append(stmt)
+            lineno = stmt.lineno
+            self.stmt_blocks.setdefault(id(stmt), []).append(block_id)
+        self.blocks[block_id] = BasicBlock(
+            block_id=block_id, label=label, statements=statements, lineno=lineno
+        )
+        return block_id
+
+    def edge(self, src: int, dst: int, kind: str) -> None:
+        targets = self.edges.setdefault(src, [])
+        if (dst, kind) not in targets:
+            targets.append((dst, kind))
+
+    def place(self, block_id: int) -> None:
+        """Connect every dangling predecessor to ``block_id``."""
+        for src, kind in self._preds:
+            self.edge(src, block_id, kind)
+        self._preds = [(block_id, "next")]
+
+    # -- statement dispatch -------------------------------------------
+
+    def seq(self, stmts: Sequence[ast.stmt], ctx: _Context) -> None:
+        for stmt in stmts:
+            self.statement(stmt, ctx)
+
+    def statement(self, stmt: ast.stmt, ctx: _Context) -> None:
+        if isinstance(stmt, ast.If):
+            self._if(stmt, ctx)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._loop(stmt, ctx)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt, ctx)
+        elif isinstance(stmt, ast.Try):
+            self._try(stmt, ctx)
+        elif isinstance(stmt, ast.Match):
+            self._match(stmt, ctx)
+        else:
+            self._simple(stmt, ctx)
+
+    def _simple(self, stmt: ast.stmt, ctx: _Context) -> None:
+        block = self.new_block(type(stmt).__name__, stmt)
+        self.place(block)
+        if not isinstance(stmt, _NON_RAISING):
+            self.edge(block, ctx.exc, "exception")
+        if isinstance(stmt, ast.Return):
+            self.edge(block, ctx.ret, "return")
+            self._preds = []
+        elif isinstance(stmt, ast.Raise):
+            self.edge(block, ctx.exc, "raise")
+            self._preds = []
+        elif isinstance(stmt, ast.Break):
+            if ctx.brk is not None:
+                self.edge(block, ctx.brk, "break")
+            self._preds = []
+        elif isinstance(stmt, ast.Continue):
+            if ctx.cont is not None:
+                self.edge(block, ctx.cont, "continue")
+            self._preds = []
+
+    def _if(self, stmt: ast.If, ctx: _Context) -> None:
+        header = self.new_block("if", stmt)
+        self.place(header)
+        self.edge(header, ctx.exc, "exception")
+        self._preds = [(header, "true")]
+        self.seq(stmt.body, ctx)
+        body_ends = self._preds
+        self._preds = [(header, "false")]
+        self.seq(stmt.orelse, ctx)
+        self._preds = body_ends + self._preds
+
+    def _loop(
+        self, stmt: Union[ast.While, ast.For, ast.AsyncFor], ctx: _Context
+    ) -> None:
+        header = self.new_block(type(stmt).__name__.lower(), stmt)
+        self.place(header)
+        self.edge(header, ctx.exc, "exception")
+        loop_exit = self.new_block("loop-exit", lineno=stmt.lineno)
+        loop_ctx = replace(ctx, brk=loop_exit, cont=header)
+        infinite = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        self._preds = [(header, "true")]
+        self.seq(stmt.body, loop_ctx)
+        for src, kind in self._preds:
+            self.edge(src, header, "loop" if kind == "next" else kind)
+        self._preds = []
+        if not infinite:
+            self._preds = [(header, "false")]
+            self.seq(stmt.orelse, ctx)
+        self._preds.append((loop_exit, "next"))
+
+    def _with(self, stmt: WithNode, ctx: _Context) -> None:
+        header = self.new_block("with", stmt)
+        self.place(header)
+        self.edge(header, ctx.exc, "exception")
+        first_body_id = self._next_id
+        self.seq(stmt.body, ctx)
+        body_blocks = frozenset(range(first_body_id, self._next_id))
+        for item in stmt.items:
+            self.with_regions.append(
+                WithRegion(
+                    node=stmt,
+                    item=item,
+                    header_block=header,
+                    body_blocks=body_blocks,
+                )
+            )
+
+    def _match(self, stmt: ast.Match, ctx: _Context) -> None:
+        header = self.new_block("match", stmt)
+        self.place(header)
+        self.edge(header, ctx.exc, "exception")
+        ends: List[Tuple[int, str]] = [(header, "next")]
+        for case in stmt.cases:
+            self._preds = [(header, "case")]
+            self.seq(case.body, ctx)
+            ends.extend(self._preds)
+        self._preds = ends
+
+    def _try(self, stmt: ast.Try, ctx: _Context) -> None:
+        incoming = self._preds
+        if stmt.finalbody:
+            inner_ctx = _Context(
+                exc=self._finally_clone(stmt, ctx, ctx.exc, "exception"),
+                ret=self._finally_clone(stmt, ctx, ctx.ret, "return"),
+                brk=(
+                    self._finally_clone(stmt, ctx, ctx.brk, "break")
+                    if ctx.brk is not None
+                    else None
+                ),
+                cont=(
+                    self._finally_clone(stmt, ctx, ctx.cont, "continue")
+                    if ctx.cont is not None
+                    else None
+                ),
+            )
+        else:
+            inner_ctx = ctx
+
+        if stmt.handlers:
+            dispatch = self.new_block("except-dispatch", lineno=stmt.lineno)
+            body_ctx = replace(inner_ctx, exc=dispatch)
+        else:
+            dispatch = -1
+            body_ctx = inner_ctx
+
+        self._preds = incoming
+        self.seq(stmt.body, body_ctx)
+        if stmt.orelse:
+            self.seq(stmt.orelse, inner_ctx)
+        ends = list(self._preds)
+
+        if stmt.handlers:
+            caught_all = False
+            for handler in stmt.handlers:
+                entry = self.new_block("except", lineno=handler.lineno)
+                self.edge(dispatch, entry, "exception")
+                self._preds = [(entry, "next")]
+                self.seq(handler.body, inner_ctx)
+                ends.extend(self._preds)
+                if handler_catches_all(handler):
+                    caught_all = True
+            if not caught_all:
+                self.edge(dispatch, inner_ctx.exc, "exception")
+
+        if stmt.finalbody:
+            norm_entry = self.new_block("finally", lineno=stmt.finalbody[0].lineno)
+            self._preds = ends
+            self.place(norm_entry)
+            self.seq(stmt.finalbody, ctx)
+        else:
+            self._preds = ends
+
+    def _finally_clone(
+        self, stmt: ast.Try, ctx: _Context, target: int, kind: str
+    ) -> int:
+        """Clone the ``finally`` body routing ``kind`` edges to ``target``."""
+        entry = self.new_block(
+            f"finally[{kind}]", lineno=stmt.finalbody[0].lineno
+        )
+        saved = self._preds
+        self._preds = [(entry, "next")]
+        self.seq(stmt.finalbody, ctx)
+        for src, end_kind in self._preds:
+            self.edge(src, target, kind if end_kind == "next" else end_kind)
+        self._preds = saved
+        return entry
+
+
+def build_cfg(func: FunctionNode) -> ControlFlowGraph:
+    """Build the CFG of ``func``'s body (nested defs are opaque blocks)."""
+    builder = _Builder()
+    entry = builder.new_block("entry", lineno=func.lineno)
+    exit_block = builder.new_block("exit", lineno=func.lineno)
+    raise_exit = builder.new_block("raise-exit", lineno=func.lineno)
+    builder._preds = [(entry, "next")]
+    ctx = _Context(exc=raise_exit, ret=exit_block)
+    builder.seq(func.body, ctx)
+    for src, kind in builder._preds:
+        builder.edge(src, exit_block, kind)
+    return ControlFlowGraph(
+        entry=entry,
+        exit_block=exit_block,
+        raise_exit=raise_exit,
+        blocks=builder.blocks,
+        edges=builder.edges,
+        with_regions=builder.with_regions,
+        stmt_blocks=builder.stmt_blocks,
+    )
+
+
+def iter_functions(tree: ast.Module) -> Iterator[FunctionNode]:
+    """Every function/method in ``tree``, nested ones included."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

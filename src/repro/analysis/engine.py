@@ -17,8 +17,9 @@ import ast
 import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Type
 
+from repro.analysis.callgraph import CallGraph
 from repro.analysis.findings import Finding
 from repro.analysis.pragmas import pragma_rules_by_line
 from repro.exceptions import ConfigurationError
@@ -78,6 +79,48 @@ class Rule(ABC):
         )
 
 
+@dataclass
+class ProjectContext:
+    """Everything a whole-program rule sees: modules plus the call graph."""
+
+    modules: List[ModuleSource]
+    graph: CallGraph
+    _by_slug: Dict[str, ModuleSource] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._by_slug = {module.slug: module for module in self.modules}
+
+    @classmethod
+    def from_modules(cls, modules: Sequence[ModuleSource]) -> "ProjectContext":
+        graph = CallGraph.build([(m.slug, m.tree) for m in modules])
+        return cls(modules=list(modules), graph=graph)
+
+    def source_for_slug(self, slug: str) -> Optional[ModuleSource]:
+        return self._by_slug.get(slug)
+
+    @property
+    def library_modules(self) -> List[ModuleSource]:
+        return [module for module in self.modules if not module.is_test]
+
+
+class ProjectRule(Rule):
+    """A rule that analyzes the whole project at once.
+
+    Per-file rules see one module; interprocedural rules (lock ordering,
+    fault contracts) need the cross-module call graph.  The engine runs
+    :meth:`check_project` once over the full ``ProjectContext`` when
+    linting paths, and over a single-module project when linting raw
+    source (so fixture tests exercise these rules unchanged).
+    """
+
+    @abstractmethod
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        """Yield every violation across the project."""
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        return self.check_project(ProjectContext.from_modules([module]))
+
+
 # ----------------------------------------------------------------------
 # registry
 
@@ -117,10 +160,22 @@ def _is_test_path(slug: str) -> bool:
 
 @dataclass
 class LintEngine:
-    """Run a set of rules over files, directories, or raw source."""
+    """Run a set of rules over files, directories, or raw source.
+
+    ``jobs`` > 1 fans per-file rules over a process pool (finding order
+    stays deterministic: results are merged and sorted).  ``cache_path``
+    enables the sha256-keyed incremental cache: files whose content,
+    rule selection, and analyzer version are unchanged skip re-analysis.
+    Project-wide rules always run in the parent process over the full
+    module set; their result is cached under a digest of the whole tree.
+    """
 
     select: Optional[Sequence[str]] = None
+    jobs: int = 1
+    cache_path: Optional[str] = None
     _rules: List[Rule] = field(init=False)
+    _file_rules: List[Rule] = field(init=False)
+    _project_rules: List[Rule] = field(init=False)
 
     def __post_init__(self) -> None:
         available = registered_rules()
@@ -135,6 +190,12 @@ class LintEngine:
                 )
             chosen = list(dict.fromkeys(self.select))
         self._rules = [available[rule_id]() for rule_id in chosen]
+        self._file_rules = [
+            rule for rule in self._rules if not isinstance(rule, ProjectRule)
+        ]
+        self._project_rules = [
+            rule for rule in self._rules if isinstance(rule, ProjectRule)
+        ]
 
     # -- discovery ----------------------------------------------------
 
@@ -168,10 +229,109 @@ class LintEngine:
     # -- linting ------------------------------------------------------
 
     def lint_paths(self, paths: Sequence[str]) -> List[Finding]:
+        from repro.analysis.cache import LintCache
+
         findings: List[Finding] = []
+        modules: List[ModuleSource] = []
+        digests: Dict[str, str] = {}
         for filename in self.discover(paths):
-            findings.extend(self.lint_file(filename))
+            with open(filename, "r", encoding="utf-8", errors="replace") as handle:
+                text = handle.read()
+            loaded = self._load_source(text, filename, None)
+            if isinstance(loaded, Finding):
+                findings.append(loaded)
+                continue
+            modules.append(loaded)
+            digests[loaded.path] = LintCache.digest(text)
+
+        cache = (
+            LintCache.load(self.cache_path) if self.cache_path is not None else None
+        )
+        file_signature = ",".join(sorted(rule.rule_id for rule in self._file_rules))
+        pending: List[ModuleSource] = []
+        for module in modules:
+            key = LintCache.file_key(
+                module.path, digests[module.path], file_signature
+            )
+            cached = cache.get(key) if cache is not None else None
+            if cached is not None:
+                findings.extend(cached)
+            else:
+                pending.append(module)
+        for module, module_findings in zip(
+            pending, self._run_file_rules(pending)
+        ):
+            findings.extend(module_findings)
+            if cache is not None:
+                key = LintCache.file_key(
+                    module.path, digests[module.path], file_signature
+                )
+                cache.put(key, module_findings)
+
+        if self._project_rules and modules:
+            project_signature = ",".join(
+                sorted(rule.rule_id for rule in self._project_rules)
+            )
+            tree_key = LintCache.tree_key(
+                [(module.path, digests[module.path]) for module in modules],
+                project_signature,
+            )
+            cached = cache.get(tree_key) if cache is not None else None
+            if cached is not None:
+                findings.extend(cached)
+            else:
+                project_findings = self._run_project_rules(modules)
+                findings.extend(project_findings)
+                if cache is not None:
+                    cache.put(tree_key, project_findings)
+
+        if cache is not None:
+            cache.save()
         return sorted(findings)
+
+    def _run_file_rules(
+        self, modules: Sequence[ModuleSource]
+    ) -> List[List[Finding]]:
+        """Per-file findings for each module, in input order."""
+        if self.jobs > 1 and len(modules) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            rule_ids = tuple(rule.rule_id for rule in self._file_rules)
+            tasks = [
+                (module.path, module.text, rule_ids) for module in modules
+            ]
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                return list(pool.map(_file_lint_worker, tasks))
+        return [self._check_module(module) for module in modules]
+
+    def _check_module(self, module: ModuleSource) -> List[Finding]:
+        findings = [
+            finding
+            for rule in self._file_rules
+            for finding in rule.check(module)
+        ]
+        return sorted(_suppress(findings, module.text))
+
+    def _run_project_rules(
+        self, modules: Sequence[ModuleSource]
+    ) -> List[Finding]:
+        project = ProjectContext.from_modules(modules)
+        raw = [
+            finding
+            for rule in self._project_rules
+            for finding in rule.check_project(project)
+        ]
+        allowed_by_path: Dict[str, Dict[int, FrozenSet[str]]] = {
+            module.path: pragma_rules_by_line(module.text) for module in modules
+        }
+        return sorted(
+            finding
+            for finding in raw
+            if finding.rule
+            not in allowed_by_path.get(finding.path, {}).get(
+                finding.line, frozenset()
+            )
+        )
 
     def lint_file(self, path: str) -> List[Finding]:
         with open(path, "r", encoding="utf-8", errors="replace") as handle:
@@ -186,35 +346,61 @@ class LintEngine:
         ``path`` decides rule scoping (library vs test, allowlisted
         modules), so tests can present fixture text under any virtual
         location; ``is_test`` overrides the path-based classification.
+        Project rules run over a single-module project here, so
+        cross-module calls stay unresolved (conservative).
         """
+        loaded = self._load_source(text, path, is_test)
+        if isinstance(loaded, Finding):
+            return [loaded]
+        findings = list(self._check_module(loaded))
+        if self._project_rules:
+            findings.extend(self._run_project_rules([loaded]))
+        return sorted(findings)
+
+    @staticmethod
+    def _load_source(
+        text: str, path: str, is_test: Optional[bool]
+    ) -> "ModuleSource | Finding":
         slug = path.replace(os.sep, "/")
         try:
             tree = ast.parse(text, filename=path)
         except SyntaxError as exc:
-            return [
-                Finding(
-                    path=path,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    rule=SYNTAX_ERROR_RULE,
-                    message=f"file does not parse: {exc.msg}",
-                )
-            ]
-        module = ModuleSource(
+            return Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule=SYNTAX_ERROR_RULE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        return ModuleSource(
             path=path,
             text=text,
             tree=tree,
             slug=slug,
             is_test=_is_test_path(slug) if is_test is None else is_test,
         )
-        allowed = pragma_rules_by_line(text)
-        findings = [
-            finding
-            for rule in self._rules
-            for finding in rule.check(module)
-            if finding.rule not in allowed.get(finding.line, frozenset())
-        ]
-        return sorted(findings)
+
+
+def _suppress(findings: Iterable[Finding], text: str) -> List[Finding]:
+    allowed = pragma_rules_by_line(text)
+    return [
+        finding
+        for finding in findings
+        if finding.rule not in allowed.get(finding.line, frozenset())
+    ]
+
+
+def _file_lint_worker(
+    task: Tuple[str, str, Tuple[str, ...]]
+) -> List[Finding]:
+    """Process-pool entry point: lint one file's text with per-file rules.
+
+    Module-level (picklable) by design — the pool-safety rule applies to
+    the analyzer itself.
+    """
+    path, text, rule_ids = task
+    engine = LintEngine(select=list(rule_ids))
+    return engine.lint_source(text, path)
 
 
 # ----------------------------------------------------------------------

@@ -54,6 +54,37 @@ def format_findings(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
+def _escape_annotation(value: str) -> str:
+    """Escape message data for a GitHub Actions workflow command."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property (also `:` and `,`)."""
+    return _escape_annotation(value).replace(":", "%3A").replace(",", "%2C")
+
+
+def format_findings_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions ``::error`` annotations, one per finding.
+
+    Emitted on stdout inside a workflow step, these surface as inline
+    annotations on the pull-request diff — no plugin needed.
+    """
+    lines = [
+        "::error file={path},line={line},col={col},title={title}::{message}".format(
+            path=_escape_property(finding.path),
+            line=finding.line,
+            col=finding.col,
+            title=_escape_property(f"repro lint [{finding.rule}]"),
+            message=_escape_annotation(finding.message),
+        )
+        for finding in findings
+    ]
+    return "\n".join(lines)
+
+
 def findings_to_json(findings: Sequence[Finding]) -> Dict[str, Any]:
     """JSON-ready payload: the findings plus a per-rule count summary."""
     counts: Counter[str] = Counter(finding.rule for finding in findings)

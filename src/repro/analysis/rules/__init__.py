@@ -2,23 +2,32 @@
 
 Importing this package registers every rule with the engine registry
 (:func:`repro.analysis.engine.register_rule`); the DESIGN.md rule table
-documents which PR's invariant each one guards.
+documents which PR's invariant each one guards.  The flow-aware rules
+(lock-order, fault-contract) are :class:`~repro.analysis.engine.ProjectRule`
+subclasses running over the whole-program call graph; the rest are
+per-file AST rules.
 """
 
 from __future__ import annotations
 
 from repro.analysis.rules.atomic_write import AtomicWriteRule
 from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.fault_contract import FaultContractRule
 from repro.analysis.rules.float_equality import FloatEqualityRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.pool_safety import PoolSafetyRule
+from repro.analysis.rules.resource_lifecycle import ResourceLifecycleRule
 from repro.analysis.rules.taxonomy import ExceptionTaxonomyRule
 
 __all__ = [
     "AtomicWriteRule",
     "DeterminismRule",
+    "FaultContractRule",
     "FloatEqualityRule",
     "LockDisciplineRule",
+    "LockOrderRule",
     "PoolSafetyRule",
+    "ResourceLifecycleRule",
     "ExceptionTaxonomyRule",
 ]

@@ -1,0 +1,321 @@
+"""Rule ``fault-contract`` — no exception escapes a fault boundary unmapped.
+
+The fleet's failure story (PR 2/6) is a *taxonomy*, not a traceback:
+``execute_unit`` returns ``("fail", FailureKind, detail)``, worker
+processes report structured errors over their pipe, HTTP handlers
+answer 500s.  An exception that propagates out of one of those
+boundaries bypasses the taxonomy — a worker dies without a verdict, a
+dispatch thread evaporates, a handler tears down its connection.
+
+Boundaries are discovered, not configured:
+
+* any function passed as ``target=`` to ``Process(...)`` or
+  ``Thread(...)`` and resolvable in the project call graph;
+* ``do_*`` methods on classes deriving (directly or through project
+  classes) from ``BaseHTTPRequestHandler``;
+* any function named ``execute_unit`` (the PR-2 contract).
+
+Inside a boundary, a statement is *protected* when it sits in the body
+of a ``try`` with a catch-all handler (bare / ``Exception`` /
+``BaseException``).  Unprotected ``raise`` / ``assert`` statements and
+calls that may raise — resolved project calls are analyzed
+transitively; unresolved calls are assumed raising unless their name is
+on a benign whitelist — are reported.  Handler bodies, ``else`` and
+``finally`` blocks are *not* protected by their own ``try`` (Python
+semantics), which is exactly where real escapes hide.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import FunctionInfo, dotted_parts
+from repro.analysis.cfg import handler_catches_all
+from repro.analysis.engine import (
+    Finding,
+    ModuleSource,
+    ProjectContext,
+    ProjectRule,
+    register_rule,
+)
+
+#: Call tails assumed not to raise in practice (noise control; anything
+#: else unresolved is conservatively treated as raising).
+BENIGN_CALL_TAILS = frozenset(
+    {
+        # builtins / conversions
+        "len", "isinstance", "issubclass", "repr", "str", "format", "bool",
+        "int", "float", "bytes", "print", "sorted", "list", "dict", "set",
+        "tuple", "frozenset", "min", "max", "sum", "abs", "round", "id",
+        "hash", "enumerate", "zip", "range", "getattr", "hasattr",
+        "setattr", "callable", "vars", "type",
+        # containers / strings
+        "append", "extend", "add", "update", "clear", "get", "items",
+        "keys", "values", "copy", "setdefault", "join", "split", "strip",
+        "startswith", "endswith", "encode", "decode", "lower", "upper",
+        "format_map", "count",
+        # logging
+        "debug", "info", "warning", "error", "exception", "critical", "log",
+        # clocks / process info / liveness probes / signalling
+        "time", "monotonic", "perf_counter", "sleep", "getpid", "is_alive",
+        "is_set", "locked", "fileno", "poll", "close", "cancel", "done",
+        "name", "notify", "notify_all",
+    }
+)
+
+_THREADLIKE_CONSTRUCTORS = frozenset({"Process", "Thread"})
+
+_EXPLICIT_BOUNDARY_NAMES = frozenset({"execute_unit"})
+
+_MAX_DEPTH = 24
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _own_calls(node: ast.AST) -> Iterable[ast.Call]:
+    """Calls in ``node``'s expression subtree, not entering nested scopes."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if current is not node and isinstance(current, _SCOPE_NODES):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+class _Analyzer:
+    def __init__(self, rule: "FaultContractRule", project: ProjectContext) -> None:
+        self.rule = rule
+        self.project = project
+        self.graph = project.graph
+        self.findings: List[Finding] = []
+        self._may_raise: Dict[str, Optional[str]] = {}
+        self._in_progress: Set[str] = set()
+
+    # -- boundary discovery --------------------------------------------
+
+    def boundaries(self) -> List[Tuple[FunctionInfo, str]]:
+        found: Dict[str, Tuple[FunctionInfo, str]] = {}
+        for qualname in sorted(self.graph.functions):
+            func = self.graph.functions[qualname]
+            source = self.project.source_for_slug(func.slug)
+            if source is None or source.is_test:
+                continue
+            if func.name in _EXPLICIT_BOUNDARY_NAMES:
+                found.setdefault(qualname, (func, "fault-isolation contract"))
+            for call in _own_calls(func.node):
+                parts = dotted_parts(call.func)
+                if parts is None or parts[-1] not in _THREADLIKE_CONSTRUCTORS:
+                    continue
+                for keyword in call.keywords:
+                    if keyword.arg != "target":
+                        continue
+                    target = self.graph.resolve_target_expr(func, keyword.value)
+                    if target is None:
+                        continue
+                    target_source = self.project.source_for_slug(target.slug)
+                    if target_source is None or target_source.is_test:
+                        continue
+                    kind = (
+                        "process entry point"
+                        if parts[-1] == "Process"
+                        else "thread entry point"
+                    )
+                    found.setdefault(target.qualname, (target, kind))
+        for qualname in sorted(self.graph.classes):
+            cls = self.graph.classes[qualname]
+            source = self.project.source_for_slug(cls.slug)
+            if source is None or source.is_test:
+                continue
+            if not self._is_http_handler(qualname, set()):
+                continue
+            for name in sorted(cls.methods):
+                if name.startswith("do_"):
+                    method = cls.methods[name]
+                    found.setdefault(method.qualname, (method, "HTTP handler"))
+        return [found[key] for key in sorted(found)]
+
+    def _is_http_handler(self, qualname: str, seen: Set[str]) -> bool:
+        if qualname in seen:
+            return False
+        seen.add(qualname)
+        cls = self.graph.classes.get(qualname)
+        if cls is None:
+            return False
+        for parts in cls.base_names:
+            if parts[-1] == "BaseHTTPRequestHandler":
+                return True
+        return any(self._is_http_handler(base, seen) for base in cls.bases)
+
+    # -- may-raise analysis --------------------------------------------
+
+    def call_raise_reason(
+        self, scope: FunctionInfo, call: ast.Call, depth: int
+    ) -> Optional[str]:
+        parts = dotted_parts(call.func)
+        callee = self.graph.resolve_call(scope, call)
+        if callee is not None:
+            reason = self.may_raise(callee, depth + 1)
+            if reason is None:
+                return None
+            return f"calls `{callee.qualname}` which {reason}"
+        if parts is None:
+            return "makes a dynamic call that may raise"
+        # Constructing a project class with no explicit __init__ (dataclass
+        # / NamedTuple field assignment) is benign.
+        qualname = self.graph.resolve_scope_name(scope, parts)
+        if qualname is not None and qualname in self.graph.classes:
+            return None
+        if parts[-1] in BENIGN_CALL_TAILS:
+            return None
+        return f"calls `{'.'.join(parts)}` which may raise"
+
+    def may_raise(self, func: FunctionInfo, depth: int = 0) -> Optional[str]:
+        """A reason string when ``func`` can let an exception escape."""
+        cached = self._may_raise.get(func.qualname, "miss")
+        if cached != "miss":
+            return cached
+        if func.qualname in self._in_progress or depth > _MAX_DEPTH:
+            return None  # converge cycles optimistically
+        self._in_progress.add(func.qualname)
+        escapes = self._unprotected_raisers(func, func.node.body, False, depth)
+        reason = escapes[0][1] if escapes else None
+        self._in_progress.discard(func.qualname)
+        self._may_raise[func.qualname] = reason
+        return reason
+
+    def _unprotected_raisers(
+        self,
+        scope: FunctionInfo,
+        stmts: List[ast.stmt],
+        protected: bool,
+        depth: int,
+    ) -> List[Tuple[ast.stmt, str]]:
+        escapes: List[Tuple[ast.stmt, str]] = []
+        for stmt in stmts:
+            if isinstance(stmt, ast.Try):
+                body_protected = protected or any(
+                    handler_catches_all(handler) for handler in stmt.handlers
+                )
+                escapes.extend(
+                    self._unprotected_raisers(
+                        scope, stmt.body, body_protected, depth
+                    )
+                )
+                for handler in stmt.handlers:
+                    escapes.extend(
+                        self._unprotected_raisers(
+                            scope, handler.body, protected, depth
+                        )
+                    )
+                escapes.extend(
+                    self._unprotected_raisers(scope, stmt.orelse, protected, depth)
+                )
+                escapes.extend(
+                    self._unprotected_raisers(
+                        scope, stmt.finalbody, protected, depth
+                    )
+                )
+                continue
+            if isinstance(
+                stmt,
+                (
+                    ast.If,
+                    ast.While,
+                    ast.For,
+                    ast.AsyncFor,
+                    ast.With,
+                    ast.AsyncWith,
+                ),
+            ):
+                if not protected:
+                    header_reason = self._header_reason(scope, stmt, depth)
+                    if header_reason is not None:
+                        escapes.append((stmt, header_reason))
+                for child_body in (
+                    getattr(stmt, "body", []),
+                    getattr(stmt, "orelse", []),
+                ):
+                    escapes.extend(
+                        self._unprotected_raisers(
+                            scope, child_body, protected, depth
+                        )
+                    )
+                continue
+            if isinstance(stmt, _SCOPE_NODES):
+                continue  # nested defs do not execute here
+            if protected:
+                continue
+            if isinstance(stmt, ast.Raise):
+                escapes.append((stmt, f"raises at line {stmt.lineno}"))
+                continue
+            if isinstance(stmt, ast.Assert):
+                escapes.append(
+                    (stmt, f"asserts at line {stmt.lineno} (AssertionError)")
+                )
+                continue
+            for call in _own_calls(stmt):
+                reason = self.call_raise_reason(scope, call, depth)
+                if reason is not None:
+                    escapes.append((stmt, reason))
+                    break
+        return escapes
+
+    def _header_reason(
+        self, scope: FunctionInfo, stmt: ast.stmt, depth: int
+    ) -> Optional[str]:
+        """Can the header expression (test / iter / context) raise?"""
+        headers: List[ast.AST] = []
+        if isinstance(stmt, (ast.If, ast.While)):
+            headers.append(stmt.test)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            headers.append(stmt.iter)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            headers.extend(item.context_expr for item in stmt.items)
+        for header in headers:
+            for call in _own_calls(header):
+                reason = self.call_raise_reason(scope, call, depth)
+                if reason is not None:
+                    return reason
+        return None
+
+    # -- reporting -----------------------------------------------------
+
+    def check_boundary(self, func: FunctionInfo, kind: str) -> None:
+        source = self.project.source_for_slug(func.slug)
+        if source is None:
+            return
+        escapes = self._unprotected_raisers(func, func.node.body, False, 0)
+        seen_lines: Set[int] = set()
+        for stmt, reason in escapes:
+            if stmt.lineno in seen_lines:
+                continue
+            seen_lines.add(stmt.lineno)
+            self.findings.append(
+                self.rule.finding(
+                    source,
+                    stmt,
+                    f"exception can escape the {kind} "
+                    f"`{func.qualname}`: {reason}; map it into the "
+                    "FailureKind taxonomy (or wrap in a catch-all handler "
+                    "that reports structured failure)",
+                )
+            )
+
+
+@register_rule
+class FaultContractRule(ProjectRule):
+    rule_id = "fault-contract"
+    description = (
+        "process/thread entry points, HTTP handlers, and execute_unit "
+        "must map every exception into the FailureKind taxonomy instead "
+        "of letting it escape"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        analyzer = _Analyzer(self, project)
+        for func, kind in analyzer.boundaries():
+            analyzer.check_boundary(func, kind)
+        return analyzer.findings

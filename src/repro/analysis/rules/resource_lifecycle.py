@@ -1,0 +1,275 @@
+"""Rule ``resource-lifecycle`` — spawned resources are released on *every* path.
+
+The fleet spawns processes and pipes constantly: a worker respawn
+allocates a ``Pipe()`` pair and a ``Process``; the pool holds raw file
+handles for journals.  A handle leaked on an exception path is invisible
+in tests (the happy path closes it) and fatal in production — file
+descriptors and zombie processes accumulate until the box stops
+accepting connections.
+
+For every local ``x = open(...)`` / ``a, b = Pipe()`` / ``r, w =
+os.pipe()`` / ``p = Process(...)`` this rule builds the function's CFG
+(:mod:`repro.analysis.cfg`) and proves that **no path — normal or
+exception — reaches the function exit without passing a release**
+(``close`` / ``join`` / ``terminate`` / ``kill`` / ``os.close`` /
+``with x:``).  The ``finally`` cloning in the CFG makes the proof
+path-sensitive: a release in a ``finally`` block covers return,
+fall-through, *and* exception exits, while a release only on the happy
+path leaves the exception edge uncovered and is reported.
+
+Ownership transfer ends the obligation: a resource that is returned,
+yielded, stored into an attribute/container, captured by a nested
+function, or passed to any call (e.g. ``terminate_process(process)``)
+belongs to someone else and is skipped — the rule only proves leaks it
+can attribute to the local scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, NamedTuple, Optional, Set, Tuple
+
+from repro.analysis.cfg import build_cfg, iter_functions
+from repro.analysis.engine import (
+    Finding,
+    ModuleSource,
+    Rule,
+    call_name,
+    register_rule,
+)
+
+RELEASE_METHODS = frozenset({"close", "join", "terminate", "kill"})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+class _Acquisition(NamedTuple):
+    stmt: ast.stmt
+    name: str
+    kind: str
+
+
+def _acquisitions(stmt: ast.stmt) -> List[_Acquisition]:
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return []
+    if not isinstance(stmt.value, ast.Call):
+        return []
+    chain = call_name(stmt.value)
+    if chain is None:
+        return []
+    target = stmt.targets[0]
+    result: List[_Acquisition] = []
+    if chain in (("open",), ("io", "open")) and isinstance(target, ast.Name):
+        result.append(_Acquisition(stmt, target.id, "file handle"))
+    elif chain[-1] == "Pipe" and isinstance(target, ast.Tuple):
+        for element in target.elts:
+            if isinstance(element, ast.Name):
+                result.append(_Acquisition(stmt, element.id, "pipe connection"))
+    elif chain == ("os", "pipe") and isinstance(target, ast.Tuple):
+        for element in target.elts:
+            if isinstance(element, ast.Name):
+                result.append(_Acquisition(stmt, element.id, "pipe fd"))
+    elif chain[-1] == "Process" and isinstance(target, ast.Name):
+        result.append(_Acquisition(stmt, target.id, "process"))
+    return result
+
+
+def _own_statements(func: ast.AST) -> List[ast.stmt]:
+    """All statements in ``func``'s own scope (nested defs excluded)."""
+    collected: List[ast.stmt] = []
+
+    def walk(stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            collected.append(stmt)
+            if isinstance(stmt, _SCOPE_NODES):
+                continue
+            for field_name in ("body", "orelse", "finalbody"):
+                child = getattr(stmt, field_name, None)
+                if isinstance(child, list):
+                    walk([s for s in child if isinstance(s, ast.stmt)])
+            for handler in getattr(stmt, "handlers", []):
+                walk(handler.body)
+            for case in getattr(stmt, "cases", []):
+                walk(case.body)
+
+    walk(list(getattr(func, "body", [])))
+    return collected
+
+
+def _is_release(stmt: ast.stmt, name: str) -> bool:
+    """Does executing ``stmt`` release the resource bound to ``name``?"""
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            expr: Optional[ast.expr] = item.context_expr
+            if isinstance(expr, ast.Call):
+                chain = call_name(expr)
+                if chain is not None and chain[-1] == "closing" and expr.args:
+                    expr = expr.args[0]
+            if isinstance(expr, ast.Name) and expr.id == name:
+                return True
+        return False
+    if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+        return False
+    call = stmt.value
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in RELEASE_METHODS
+        and isinstance(func.value, ast.Name)
+        and func.value.id == name
+    ):
+        return True
+    chain = call_name(call)
+    if chain == ("os", "close"):
+        return any(
+            isinstance(arg, ast.Name) and arg.id == name for arg in call.args
+        )
+    return False
+
+
+def _release_call_exprs(stmt: ast.stmt, name: str) -> Set[int]:
+    """ids of Call nodes in ``stmt`` that constitute the release itself."""
+    ids: Set[int] = set()
+    if (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and _is_release(stmt, name)
+    ):
+        ids.add(id(stmt.value))
+    return ids
+
+
+def _escapes(
+    func: ast.AST, own_stmts: List[ast.stmt], acquisition: _Acquisition
+) -> bool:
+    """True when ownership of the name leaves the local scope."""
+    name = acquisition.name
+    for stmt in own_stmts:
+        if stmt is acquisition.stmt:
+            continue
+        if isinstance(stmt, (ast.Global, ast.Nonlocal)) and name in stmt.names:
+            return True
+        if isinstance(stmt, _SCOPE_NODES):
+            # closure capture: any mention inside the nested scope
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and node.id == name:
+                    return True
+            continue
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            for node in ast.walk(stmt.value):
+                if isinstance(node, ast.Name) and node.id == name:
+                    return True
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            if value is not None:
+                for node in ast.walk(value):
+                    if isinstance(node, ast.Name) and node.id == name:
+                        return True
+        release_calls = _release_call_exprs(stmt, name)
+        # Any *argument* use in a non-release call transfers ownership
+        # (``terminate_process(process)``); receiver use (``x.send(...)``)
+        # does not.
+        header_exprs = _expression_children(stmt)
+        for expr in header_exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Lambda):
+                    for inner in ast.walk(node):
+                        if isinstance(inner, ast.Name) and inner.id == name:
+                            return True
+                if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    for inner in ast.walk(node):
+                        if isinstance(inner, ast.Name) and inner.id == name:
+                            return True
+                if not isinstance(node, ast.Call) or id(node) in release_calls:
+                    continue
+                for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                    for inner in ast.walk(arg):
+                        if isinstance(inner, ast.Name) and inner.id == name:
+                            return True
+    return False
+
+
+def _expression_children(stmt: ast.stmt) -> List[ast.expr]:
+    """Expressions evaluated by ``stmt`` itself (not nested statements)."""
+    exprs: List[ast.expr] = []
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in ("body", "orelse", "finalbody", "handlers", "cases"):
+            continue
+        if isinstance(value, ast.expr):
+            exprs.append(value)
+        elif isinstance(value, list):
+            exprs.extend(v for v in value if isinstance(v, ast.expr))
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        exprs.extend(item.context_expr for item in stmt.items)
+    return exprs
+
+
+@register_rule
+class ResourceLifecycleRule(Rule):
+    rule_id = "resource-lifecycle"
+    description = (
+        "locally-owned processes, pipes, and file handles must be "
+        "closed/joined on every CFG path, exception edges included"
+    )
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        if module.is_test:
+            return []
+        findings: List[Finding] = []
+        for func in iter_functions(module.tree):
+            findings.extend(self._check_function(module, func))
+        return findings
+
+    def _check_function(
+        self, module: ModuleSource, func: ast.AST
+    ) -> List[Finding]:
+        own_stmts = _own_statements(func)
+        acquisitions: List[_Acquisition] = []
+        for stmt in own_stmts:
+            if isinstance(stmt, _SCOPE_NODES):
+                continue
+            acquisitions.extend(_acquisitions(stmt))
+        if not acquisitions:
+            return []
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        cfg = build_cfg(func)
+        findings: List[Finding] = []
+        for acquisition in acquisitions:
+            if _escapes(func, own_stmts, acquisition):
+                continue
+            release_stmts = [
+                stmt
+                for stmt in own_stmts
+                if _is_release(stmt, acquisition.name)
+            ]
+            avoid_blocks: Set[int] = set()
+            for stmt in release_stmts:
+                avoid_blocks.update(cfg.blocks_for(stmt))
+            starts: List[int] = []
+            for block in cfg.blocks_for(acquisition.stmt):
+                for target, kind in cfg.successors(block):
+                    if kind not in ("exception", "raise"):
+                        starts.append(target)
+            path = cfg.find_path(
+                starts,
+                frozenset({cfg.exit_block, cfg.raise_exit}),
+                frozenset(avoid_blocks),
+            )
+            if path is None:
+                continue
+            where = (
+                "an exception path"
+                if path[-1] == cfg.raise_exit
+                else "a normal path"
+            )
+            verb = "closed" if acquisition.kind != "process" else "joined"
+            findings.append(
+                self.finding(
+                    module,
+                    acquisition.stmt,
+                    f"`{acquisition.name}` ({acquisition.kind}) can reach "
+                    f"the function exit via {where} without being {verb} "
+                    "— release it in a `finally` block or `with` statement",
+                )
+            )
+        return findings

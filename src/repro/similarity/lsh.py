@@ -30,6 +30,7 @@ from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.exceptions import SimilarityError
 from repro.similarity.fingerprint import (
@@ -72,7 +73,7 @@ class SimilarityMatch:
 class _Entry:
     __slots__ = ("signature", "payload", "band_keys")
 
-    def __init__(self, signature: np.ndarray, payload: Any,
+    def __init__(self, signature: npt.NDArray[np.uint64], payload: Any,
                  band_keys: List[bytes]) -> None:
         self.signature = signature
         self.payload = payload
@@ -135,7 +136,7 @@ class SimilarityIndex:
 
     # -- signatures ----------------------------------------------------
 
-    def signature(self, fingerprint: CfgFingerprint) -> np.ndarray:
+    def signature(self, fingerprint: CfgFingerprint) -> npt.NDArray[np.uint64]:
         """Sign a fingerprint with this index's hasher configuration."""
         if fingerprint.iterations != self.iterations:
             raise SimilarityError(
@@ -144,7 +145,7 @@ class SimilarityIndex:
             )
         return self._hasher.signature(fingerprint)
 
-    def _band_keys(self, signature: np.ndarray) -> List[bytes]:
+    def _band_keys(self, signature: npt.NDArray[np.uint64]) -> List[bytes]:
         rows = self.rows_per_band
         return [
             signature[band * rows:(band + 1) * rows].tobytes()
@@ -153,7 +154,8 @@ class SimilarityIndex:
 
     # -- mutation ------------------------------------------------------
 
-    def insert(self, key: str, signature: np.ndarray, payload: Any) -> None:
+    def insert(self, key: str, signature: npt.NDArray[np.uint64],
+               payload: Any) -> None:
         """Index ``signature`` under ``key``; replaces an existing key."""
         band_keys = self._band_keys(signature)
         with self._lock:
@@ -180,7 +182,9 @@ class SimilarityIndex:
 
     # -- lookup --------------------------------------------------------
 
-    def query(self, signature: np.ndarray) -> Optional[SimilarityMatch]:
+    def query(
+        self, signature: npt.NDArray[np.uint64]
+    ) -> Optional[SimilarityMatch]:
         """Best indexed entry whose estimated Jaccard clears the threshold.
 
         Returns ``None`` on a miss.  A hit refreshes the matched entry's

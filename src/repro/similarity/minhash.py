@@ -18,6 +18,7 @@ and offline dedup runs share one fingerprint vocabulary.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.exceptions import SimilarityError
 from repro.similarity.fingerprint import CfgFingerprint
@@ -36,7 +37,7 @@ DEFAULT_MINHASH_SEED = 0x7A51
 _PRIME = np.uint64(2**31 - 1)
 
 
-def _mod_mersenne(values: np.ndarray) -> np.ndarray:
+def _mod_mersenne(values: npt.NDArray[np.uint64]) -> npt.NDArray[np.uint64]:
     """Exact ``values % (2**31 - 1)`` without integer division.
 
     For a Mersenne modulus, folding the high bits onto the low bits
@@ -45,9 +46,11 @@ def _mod_mersenne(values: np.ndarray) -> np.ndarray:
     Produces bit-identical results to ``%`` at a fraction of the cost —
     uint64 division is the hot instruction in signature computation.
     """
-    values = (values & _PRIME) + (values >> np.uint64(31))
-    values = (values & _PRIME) + (values >> np.uint64(31))
-    return np.where(values >= _PRIME, values - _PRIME, values)
+    folded = (values & _PRIME) + (values >> np.uint64(31))
+    folded = (folded & _PRIME) + (folded >> np.uint64(31))
+    return np.asarray(
+        np.where(folded >= _PRIME, folded - _PRIME, folded), dtype=np.uint64
+    )
 
 
 class MinHasher:
@@ -82,7 +85,7 @@ class MinHasher:
             0, prime, size=num_permutations, dtype=np.uint64
         )
 
-    def signature(self, fingerprint: CfgFingerprint) -> np.ndarray:
+    def signature(self, fingerprint: CfgFingerprint) -> npt.NDArray[np.uint64]:
         """The minhash signature of ``fingerprint`` (uint64, fixed width).
 
         ``sig[i] = min over elements x of (a_i * x + b_i) mod p`` — the
@@ -96,11 +99,11 @@ class MinHasher:
             self._a[:, np.newaxis] * elements[np.newaxis, :]
             + self._b[:, np.newaxis]
         )
-        return hashed.min(axis=1).astype(np.uint64)
+        return np.asarray(hashed.min(axis=1), dtype=np.uint64)
 
 
 def estimated_jaccard(
-    signature_a: np.ndarray, signature_b: np.ndarray
+    signature_a: npt.NDArray[np.uint64], signature_b: npt.NDArray[np.uint64]
 ) -> float:
     """Unbiased Jaccard estimate: the signature agreement rate.
 

@@ -26,7 +26,26 @@ import multiprocessing
 import time
 from collections import deque
 from multiprocessing import connection as mp_connection
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from multiprocessing.context import BaseContext
+from multiprocessing.process import BaseProcess
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+
+    #: Parent/child pipe end; payloads are heterogeneous tuples.
+    PipeConn = Connection[Any, Any]
 
 #: Seconds between deadline sweeps while waiting on worker pipes.
 _TICK_SECONDS = 0.05
@@ -35,7 +54,7 @@ _TICK_SECONDS = 0.05
 _JOIN_SECONDS = 5.0
 
 
-def pool_context():
+def pool_context() -> BaseContext:
     """The multiprocessing context every supervised worker spawns under.
 
     ``fork`` when the platform offers it (workers inherit the parent's
@@ -43,11 +62,14 @@ def pool_context():
     serving fleet replaces a crashed replica under traffic); the
     platform default otherwise.
     """
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
 
 
-def terminate_process(process, conn, kill: bool) -> Optional[int]:
+def terminate_process(
+    process: BaseProcess, conn: "PipeConn", kill: bool
+) -> Optional[int]:
     """Stop a worker process and close its pipe; returns its exit code."""
     try:
         if kill and process.is_alive():
@@ -64,7 +86,7 @@ def terminate_process(process, conn, kill: bool) -> Optional[int]:
             pass
 
 
-def _worker_main(conn, worker_name: str, worker_ctx) -> None:
+def _worker_main(conn: "PipeConn", worker_name: str, worker_ctx: Any) -> None:
     """Worker process body: recv unit, execute, send outcome, repeat.
 
     Outcomes are produced by :func:`repro.features.pipeline.execute_unit`,
@@ -74,10 +96,10 @@ def _worker_main(conn, worker_name: str, worker_ctx) -> None:
     """
     from repro.features import pipeline  # deferred: parent imports us
 
-    worker_fn = pipeline.resolve_worker(worker_name).fn
+    worker_fn = pipeline.resolve_worker(worker_name).fn  # repro: allow[fault-contract] — a misconfigured worker name is fatal; the parent reports the closed pipe as a crash
     while True:
         try:
-            message = conn.recv()
+            message = conn.recv()  # repro: allow[fault-contract] — non-EOF recv failure means a torn protocol; dying lets the parent classify the crash
         except (EOFError, OSError, KeyboardInterrupt):
             break
         if message is None:
@@ -87,7 +109,7 @@ def _worker_main(conn, worker_name: str, worker_ctx) -> None:
         try:
             conn.send((index,) + outcome)
         except Exception as exc:  # repro: allow[broad-except] — unpicklable result; report, don't die
-            conn.send(
+            conn.send(  # repro: allow[fault-contract] — last-resort report; a broken pipe here is a crash the parent detects
                 (index, "fail", "unexpected",
                  f"worker result not transferable: {type(exc).__name__}: {exc}")
             )
@@ -98,7 +120,7 @@ class _Slot:
 
     __slots__ = ("process", "conn", "index", "item", "deadline")
 
-    def __init__(self, process, conn) -> None:
+    def __init__(self, process: BaseProcess, conn: "PipeConn") -> None:
         self.process = process
         self.conn = conn
         self.index: Optional[int] = None
@@ -136,7 +158,7 @@ class ProcessWorkerPool:
     def __init__(
         self,
         worker_name: str,
-        worker_ctx,
+        worker_ctx: Any,
         max_workers: int,
         timeout: Optional[float] = None,
     ) -> None:
@@ -177,7 +199,7 @@ class ProcessWorkerPool:
         Callbacks run in the parent (this) thread, in completion order;
         the caller re-establishes input order from the indices.
         """
-        pending = deque(units)
+        pending: Deque[Tuple[int, Any]] = deque(units)
         if not pending:
             return
         slots: List[_Slot] = [
@@ -197,7 +219,12 @@ class ProcessWorkerPool:
                         pass
                 self._terminate(slot, kill=False)
 
-    def _dispatch(self, slots, pending, on_fail) -> None:
+    def _dispatch(
+        self,
+        slots: List[_Slot],
+        pending: "Deque[Tuple[int, Any]]",
+        on_fail: Callable[[int, str, str], None],
+    ) -> None:
         for position, slot in enumerate(slots):
             if slot.busy or not pending:
                 continue
@@ -214,12 +241,20 @@ class ProcessWorkerPool:
                 self._terminate(slot, kill=True)
                 slots[position] = self._spawn()
 
-    def _collect(self, slots, pending, on_fail, on_ok) -> None:
-        busy = {slot.conn: slot for slot in slots if slot.busy}
+    def _collect(
+        self,
+        slots: List[_Slot],
+        pending: "Deque[Tuple[int, Any]]",
+        on_fail: Callable[[int, str, str], None],
+        on_ok: Callable[[int, Any], None],
+    ) -> None:
+        busy: "Dict[PipeConn, _Slot]" = {
+            slot.conn: slot for slot in slots if slot.busy
+        }
         if not busy:
             return
         for conn in mp_connection.wait(list(busy), timeout=_TICK_SECONDS):
-            slot = busy[conn]
+            slot = busy[cast("PipeConn", conn)]
             try:
                 message = slot.conn.recv()
             except (EOFError, OSError):
@@ -232,14 +267,19 @@ class ProcessWorkerPool:
                 on_fail(index, payload[0], payload[1])
             slot.clear()
 
-    def _enforce_deadlines(self, slots, pending, on_fail) -> None:
+    def _enforce_deadlines(
+        self,
+        slots: List[_Slot],
+        pending: "Deque[Tuple[int, Any]]",
+        on_fail: Callable[[int, str, str], None],
+    ) -> None:
         if self.timeout is None:
             return
         now = time.monotonic()
         for position, slot in enumerate(slots):
-            if not slot.busy or slot.deadline is None or now < slot.deadline:
-                continue
             index = slot.index
+            if index is None or slot.deadline is None or now < slot.deadline:
+                continue
             slot.clear()
             self._terminate(slot, kill=True)
             on_fail(
@@ -251,9 +291,16 @@ class ProcessWorkerPool:
             if pending or any(s.busy for s in slots):
                 slots[position] = self._spawn()
 
-    def _replace_crashed(self, slots, slot, pending, on_fail) -> None:
+    def _replace_crashed(
+        self,
+        slots: List[_Slot],
+        slot: _Slot,
+        pending: "Deque[Tuple[int, Any]]",
+        on_fail: Callable[[int, str, str], None],
+    ) -> None:
         """A worker died without reporting: charge its in-flight unit."""
         index = slot.index
+        assert index is not None  # only busy slots are collected
         slot.clear()
         exitcode = self._terminate(slot, kill=True)
         on_fail(

@@ -29,10 +29,15 @@ from __future__ import annotations
 import importlib
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.exceptions import WorkerError, WorkerStartupError
 from repro.workers.pool import _TICK_SECONDS, pool_context, terminate_process
+
+if TYPE_CHECKING:
+    from multiprocessing.process import BaseProcess
+
+    from repro.workers.pool import PipeConn
 
 #: request_id of the readiness announcement (never a real request id).
 READY = "__ready__"
@@ -44,7 +49,7 @@ INIT_ERROR = "__init_error__"
 DEFAULT_START_TIMEOUT = 60.0
 
 
-def resolve_entrypoint(entrypoint: str):
+def resolve_entrypoint(entrypoint: str) -> Callable[..., Any]:
     """Import and return the factory named by ``"module.path:function"``.
 
     Runs inside the child (and in tests); the returned factory is called
@@ -83,20 +88,25 @@ class WorkerReply:
         return cls(request_id=request_id, ok=(status == "ok"), value=value)
 
 
-def _request_worker_main(conn, entrypoint: str, init_kwargs: Dict[str, Any]) -> None:
+def _request_worker_main(
+    conn: "PipeConn", entrypoint: str, init_kwargs: Dict[str, Any]
+) -> None:
     """Child process body: init once, announce, then serve requests."""
     try:
         handler = resolve_entrypoint(entrypoint)(**init_kwargs)
     except BaseException as exc:  # repro: allow[broad-except] — init failure must reach the parent
         try:
-            conn.send((INIT_ERROR, "fail", f"{type(exc).__name__}: {exc}"))
+            conn.send((INIT_ERROR, "fail", f"{type(exc).__name__}: {exc}"))  # repro: allow[fault-contract] — the INIT_ERROR report itself; OSError guarded, anything else is unreportable
         except OSError:
             pass
         return
-    conn.send((READY, "ok", None))
+    try:
+        conn.send((READY, "ok", None))  # repro: allow[fault-contract] — constant payload; only OSError can occur and it is caught
+    except OSError:  # parent died between spawn and ready; exit quietly
+        return
     while True:
         try:
-            message = conn.recv()
+            message = conn.recv()  # repro: allow[fault-contract] — non-EOF recv failure means a torn protocol; dying lets the parent classify the crash
         except (EOFError, OSError, KeyboardInterrupt):
             break
         if message is None:
@@ -110,7 +120,7 @@ def _request_worker_main(conn, entrypoint: str, init_kwargs: Dict[str, Any]) -> 
         try:
             conn.send(reply)
         except Exception as exc:  # repro: allow[broad-except] — unpicklable result; report, don't die
-            conn.send(
+            conn.send(  # repro: allow[fault-contract] — last-resort report; a broken pipe here is a crash the parent detects
                 (request_id, "fail",
                  f"worker result not transferable: {type(exc).__name__}: {exc}")
             )
@@ -137,14 +147,14 @@ class RequestWorker:
         self.init_kwargs = dict(init_kwargs or {})
         self.respawns = 0
         self._mp = pool_context()
-        self._process = None
-        self._conn = None
+        self._process: Optional["BaseProcess"] = None
+        self._conn: Optional["PipeConn"] = None
         self._ready = False
 
     # -- introspection ------------------------------------------------
 
     @property
-    def conn(self):
+    def conn(self) -> Optional["PipeConn"]:
         """The parent end of the pipe (``None`` before :meth:`start`)."""
         return self._conn
 
@@ -192,6 +202,9 @@ class RequestWorker:
         """Block until the readiness announcement (or fail loudly)."""
         if self._ready:
             return
+        conn = self._conn
+        if conn is None:
+            raise WorkerError(f"worker {self.name!r} is not started")
         deadline = time.monotonic() + timeout
         while True:
             remaining = deadline - time.monotonic()
@@ -200,9 +213,9 @@ class RequestWorker:
                 raise WorkerStartupError(
                     self.name, f"not ready within {timeout}s"
                 )
-            if self._conn.poll(min(remaining, _TICK_SECONDS)):
+            if conn.poll(min(remaining, _TICK_SECONDS)):
                 try:
-                    message = self._conn.recv()
+                    message = conn.recv()
                 except (EOFError, OSError):
                     exitcode = self.stop(kill=True)
                     raise WorkerStartupError(
@@ -238,14 +251,15 @@ class RequestWorker:
 
     def stop(self, kill: bool = False) -> Optional[int]:
         """Stop the child (politely unless ``kill``); returns exit code."""
-        if self._process is None:
+        process, conn = self._process, self._conn
+        if process is None or conn is None:
             return None
-        if not kill and self._process.is_alive():
+        if not kill and process.is_alive():
             try:
-                self._conn.send(None)
+                conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
-        exitcode = terminate_process(self._process, self._conn, kill=kill)
+        exitcode = terminate_process(process, conn, kill=kill)
         self._process = None
         self._conn = None
         self._ready = False

@@ -1,0 +1,25 @@
+"""Violates ``fault-contract``: a process entry point lets exceptions
+escape instead of mapping them into the failure taxonomy."""
+
+import multiprocessing
+
+
+def validate(payload):
+    if not isinstance(payload, dict):
+        raise ValueError("payload must be a mapping")
+    return payload
+
+
+def risky_worker(payload):
+    if payload is None:
+        raise ValueError("no payload given")
+    checked = validate(payload)
+    return checked
+
+
+def spawn(payload):
+    process = multiprocessing.Process(target=risky_worker, args=(payload,))
+    try:
+        process.start()
+    finally:
+        process.join()

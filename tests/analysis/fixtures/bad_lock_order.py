@@ -1,0 +1,47 @@
+"""Violates ``lock-order``: opposite acquisition orders, blocking and
+re-acquisition under a held lock."""
+
+import threading
+import time
+
+
+class Gateway:
+    def __init__(self, partner: "Partner"):
+        self._lock = threading.Lock()
+        self.partner = partner
+
+    def forward(self):
+        # Takes Gateway._lock then Partner._lock (via poke) ...
+        with self._lock:
+            self.partner.poke()
+
+    def flush(self):
+        with self._lock:
+            return True
+
+    def sleepy(self):
+        with self._lock:
+            time.sleep(0.5)
+
+    def reenter(self):
+        with self._lock:
+            with self._lock:
+                return True
+
+
+class Partner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.gateway = None
+
+    def attach(self, gateway: "Gateway"):
+        self.gateway = gateway
+
+    def poke(self):
+        with self._lock:
+            return True
+
+    def escalate(self):
+        # ... while this path takes Partner._lock then Gateway._lock.
+        with self._lock:
+            self.gateway.flush()

@@ -1,0 +1,16 @@
+"""Violates ``resource-lifecycle``: file handles leak on exception and
+early-return paths."""
+
+
+def touch_header(path):
+    handle = open(path, "rb")
+    handle.readline()  # raises -> the close below never runs
+    handle.close()
+
+
+def probe(path, enabled):
+    handle = open(path, "rb")
+    if not enabled:
+        return False  # early return leaks the handle on a normal path
+    handle.close()
+    return True

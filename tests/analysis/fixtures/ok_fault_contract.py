@@ -1,0 +1,27 @@
+"""Passes ``fault-contract``: the process entry point maps every fault
+into a structured outcome instead of dying."""
+
+import multiprocessing
+
+
+def transform(payload):
+    if payload is None:
+        raise ValueError("no payload")
+    return payload
+
+
+def guarded_worker(payload):
+    try:
+        result = transform(payload)
+        outcome = ("ok", result)
+    except Exception as exc:  # repro: allow[broad-except] — boundary maps faults into the taxonomy
+        outcome = ("fail", f"{type(exc).__name__}: {exc}")
+    return outcome
+
+
+def spawn(payload):
+    process = multiprocessing.Process(target=guarded_worker, args=(payload,))
+    try:
+        process.start()
+    finally:
+        process.join()

@@ -1,0 +1,34 @@
+"""Passes ``lock-order``: one global acquisition order, nothing blocking
+while a lock is held."""
+
+import threading
+import time
+
+
+class Sink:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.accepted = 0
+
+    def push(self, item):
+        with self._lock:
+            self.accepted += 1
+
+
+class Source:
+    def __init__(self, sink: "Sink"):
+        self._lock = threading.Lock()
+        self.sink = sink
+
+    def forward(self, item):
+        # Consistent nesting (always Source._lock before Sink._lock) is
+        # an acyclic order, so it is accepted.
+        with self._lock:
+            self.sink.push(item)
+
+    def pace(self, item):
+        # Sleeping is fine once the lock has been released.
+        with self._lock:
+            staged = item
+        time.sleep(0.0)
+        self.sink.push(staged)

@@ -1,0 +1,212 @@
+"""Call-graph indexing and conservative whole-program name resolution."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Tuple
+
+from repro.analysis import CallGraph, FunctionInfo
+from repro.analysis.callgraph import (
+    dotted_parts,
+    iter_calls,
+    module_name_for_slug,
+)
+
+
+def build(*modules: Tuple[str, str]) -> CallGraph:
+    return CallGraph.build(
+        [(slug, ast.parse(textwrap.dedent(source))) for slug, source in modules]
+    )
+
+
+def first_call(graph: CallGraph, qualname: str) -> Tuple[FunctionInfo, ast.Call]:
+    func = graph.functions[qualname]
+    return func, next(iter_calls(func.node))
+
+
+class TestNaming:
+    def test_slug_to_module_name(self):
+        assert module_name_for_slug("src/repro/serve/fleet.py") == "repro.serve.fleet"
+        assert module_name_for_slug("tools/pkg/__init__.py") == "tools.pkg"
+
+    def test_dotted_parts_of_attribute_chain(self):
+        expr = ast.parse("a.b.c", mode="eval").body
+        assert dotted_parts(expr) == ("a", "b", "c")
+
+    def test_dynamic_receiver_is_unresolvable(self):
+        expr = ast.parse("f().method", mode="eval").body
+        assert dotted_parts(expr) is None
+
+
+class TestResolution:
+    def test_cross_module_function(self):
+        graph = build(
+            (
+                "src/repro/a.py",
+                """\
+                from repro.b import helper
+
+
+                def caller():
+                    return helper()
+                """,
+            ),
+            (
+                "src/repro/b.py",
+                """\
+                def helper():
+                    return 1
+                """,
+            ),
+        )
+        caller, call = first_call(graph, "repro.a.caller")
+        resolved = graph.resolve_call(caller, call)
+        assert resolved is not None
+        assert resolved.qualname == "repro.b.helper"
+
+    def test_self_method(self):
+        graph = build(
+            (
+                "src/repro/m.py",
+                """\
+                class Box:
+                    def get(self):
+                        return self.compute()
+
+                    def compute(self):
+                        return 1
+                """,
+            )
+        )
+        get, call = first_call(graph, "repro.m.Box.get")
+        resolved = graph.resolve_call(get, call)
+        assert resolved is not None
+        assert resolved.qualname == "repro.m.Box.compute"
+
+    def test_inherited_method_found_through_bases(self):
+        graph = build(
+            (
+                "src/repro/m.py",
+                """\
+                class Base:
+                    def ping(self):
+                        return True
+
+
+                class Child(Base):
+                    def go(self):
+                        return self.ping()
+                """,
+            )
+        )
+        go, call = first_call(graph, "repro.m.Child.go")
+        resolved = graph.resolve_call(go, call)
+        assert resolved is not None
+        assert resolved.qualname == "repro.m.Base.ping"
+
+    def test_unresolved_call_stays_none(self):
+        graph = build(
+            (
+                "src/repro/m.py",
+                """\
+                import json
+
+
+                def load(text):
+                    return json.loads(text)
+                """,
+            )
+        )
+        load, call = first_call(graph, "repro.m.load")
+        assert graph.resolve_call(load, call) is None
+
+    def test_target_reference_resolves_like_a_call(self):
+        graph = build(
+            (
+                "src/repro/m.py",
+                """\
+                import threading
+
+
+                def worker():
+                    return None
+
+
+                def spawn():
+                    return threading.Thread(target=worker)
+                """,
+            )
+        )
+        spawn = graph.functions["repro.m.spawn"]
+        reference = ast.parse("worker", mode="eval").body
+        resolved = graph.resolve_target_expr(spawn, reference)
+        assert resolved is not None
+        assert resolved.qualname == "repro.m.worker"
+
+
+class TestAttributeTypes:
+    def test_annotated_parameter_feeds_the_chain(self):
+        graph = build(
+            (
+                "src/repro/m.py",
+                """\
+                class Engine:
+                    def ping(self):
+                        return True
+
+
+                class Owner:
+                    def __init__(self, engine: "Engine"):
+                        self.engine = engine
+
+                    def poke(self):
+                        return self.engine.ping()
+                """,
+            )
+        )
+        poke, call = first_call(graph, "repro.m.Owner.poke")
+        resolved = graph.resolve_call(poke, call)
+        assert resolved is not None
+        assert resolved.qualname == "repro.m.Engine.ping"
+
+    def test_constructor_assignment_feeds_the_chain(self):
+        graph = build(
+            (
+                "src/repro/m.py",
+                """\
+                class Engine:
+                    def ping(self):
+                        return True
+
+
+                class Owner:
+                    def __init__(self):
+                        self.engine = Engine()
+
+                    def poke(self):
+                        return self.engine.ping()
+                """,
+            )
+        )
+        poke, call = first_call(graph, "repro.m.Owner.poke")
+        resolved = graph.resolve_call(poke, call)
+        assert resolved is not None
+        assert resolved.qualname == "repro.m.Engine.ping"
+
+    def test_plain_none_assignment_infers_nothing(self):
+        graph = build(
+            (
+                "src/repro/m.py",
+                """\
+                class Owner:
+                    def __init__(self):
+                        self.engine = None
+
+                    def poke(self):
+                        return self.engine.ping()
+                """,
+            )
+        )
+        poke, call = first_call(graph, "repro.m.Owner.poke")
+        assert graph.resolve_call(poke, call) is None

@@ -1,0 +1,232 @@
+"""CFG construction: branches, loops, ``finally`` cloning, with-regions,
+exception routing, and path queries."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import List, Tuple
+
+from repro.analysis import BasicBlock, ControlFlowGraph, build_cfg
+from repro.analysis.cfg import FunctionNode, handler_catches_all, iter_functions
+
+
+def parse_function(source: str) -> FunctionNode:
+    tree = ast.parse(textwrap.dedent(source))
+    return next(iter_functions(tree))
+
+
+def cfg_of(source: str) -> Tuple[FunctionNode, ControlFlowGraph]:
+    func = parse_function(source)
+    return func, build_cfg(func)
+
+
+def blocks_by_label(cfg: ControlFlowGraph, label: str) -> List[BasicBlock]:
+    return [block for block in cfg.blocks.values() if block.label == label]
+
+
+class TestStraightLine:
+    def test_entry_reaches_exit(self):
+        _, cfg = cfg_of(
+            """\
+            def f(x):
+                y = x + 1
+                return y
+            """
+        )
+        assert cfg.find_path([cfg.entry], frozenset({cfg.exit_block})) is not None
+
+    def test_every_statement_gets_an_exception_edge(self):
+        _, cfg = cfg_of(
+            """\
+            def f(x):
+                y = x + 1
+                return y
+            """
+        )
+        assign = blocks_by_label(cfg, "Assign")[0]
+        kinds = dict(cfg.successors(assign.block_id))
+        assert kinds.get(cfg.raise_exit) == "exception"
+
+    def test_pass_cannot_raise(self):
+        _, cfg = cfg_of(
+            """\
+            def f():
+                pass
+            """
+        )
+        block = blocks_by_label(cfg, "Pass")[0]
+        kinds = [kind for _, kind in cfg.successors(block.block_id)]
+        assert "exception" not in kinds
+
+
+class TestBranches:
+    def test_if_has_true_and_false_edges(self):
+        _, cfg = cfg_of(
+            """\
+            def f(flag):
+                if flag:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        header = blocks_by_label(cfg, "if")[0]
+        kinds = {kind for _, kind in cfg.successors(header.block_id)}
+        assert {"true", "false"} <= kinds
+
+    def test_both_arms_reach_the_return(self):
+        func, cfg = cfg_of(
+            """\
+            def f(flag):
+                if flag:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        return_blocks = frozenset(cfg.blocks_for(func.body[1]))
+        for arm in (func.body[0].body[0], func.body[0].orelse[0]):
+            starts = cfg.blocks_for(arm)
+            assert cfg.find_path(starts, return_blocks) is not None
+
+
+class TestLoops:
+    def test_while_body_loops_back_to_the_header(self):
+        _, cfg = cfg_of(
+            """\
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+            """
+        )
+        header = blocks_by_label(cfg, "while")[0]
+        body = blocks_by_label(cfg, "AugAssign")[0]
+        assert (header.block_id, "loop") in cfg.successors(body.block_id)
+
+    def test_infinite_loop_exits_only_via_break(self):
+        func, cfg = cfg_of(
+            """\
+            def f():
+                while True:
+                    break
+            """
+        )
+        header = blocks_by_label(cfg, "while")[0]
+        kinds = {kind for _, kind in cfg.successors(header.block_id)}
+        assert "false" not in kinds
+        break_block = cfg.blocks_for(func.body[0].body[0])[0]
+        assert cfg.find_path([break_block], frozenset({cfg.exit_block})) is not None
+
+
+class TestTryRouting:
+    def test_catch_all_handler_stops_propagation(self):
+        func, cfg = cfg_of(
+            """\
+            def f(risky):
+                try:
+                    risky()
+                except Exception:
+                    pass
+            """
+        )
+        risky_block = cfg.blocks_for(func.body[0].body[0])[0]
+        assert cfg.find_path([risky_block], frozenset({cfg.raise_exit})) is None
+
+    def test_narrow_handler_keeps_the_escape_path(self):
+        func, cfg = cfg_of(
+            """\
+            def f(risky):
+                try:
+                    risky()
+                except ValueError:
+                    pass
+            """
+        )
+        risky_block = cfg.blocks_for(func.body[0].body[0])[0]
+        assert cfg.find_path(
+            [risky_block], frozenset({cfg.raise_exit})
+        ) is not None
+
+    def test_finally_runs_on_return_and_exception_paths(self):
+        func, cfg = cfg_of(
+            """\
+            def f(path):
+                handle = open(path)
+                try:
+                    return 1
+                finally:
+                    handle.close()
+            """
+        )
+        close_stmt = func.body[1].finalbody[0]
+        avoid = frozenset(cfg.blocks_for(close_stmt))
+        # finally cloning places the close on several blocks
+        assert len(avoid) > 1
+        return_block = cfg.blocks_for(func.body[1].body[0])[0]
+        # neither the return nor an exception can skip the cleanup
+        exits = frozenset({cfg.exit_block, cfg.raise_exit})
+        assert cfg.find_path([return_block], exits, avoid) is None
+        assert cfg.find_path([return_block], exits) is not None
+
+
+class TestWithRegions:
+    def test_region_covers_body_but_not_the_tail(self):
+        func, cfg = cfg_of(
+            """\
+            def f(lock):
+                with lock:
+                    a = 1
+                b = 2
+            """
+        )
+        region = cfg.with_regions[0]
+        inside = cfg.blocks_for(func.body[0].body[0])[0]
+        outside = cfg.blocks_for(func.body[1])[0]
+        assert inside in region.body_blocks
+        assert outside not in region.body_blocks
+
+
+class TestHandlerCatchesAll:
+    def _handler(self, source: str) -> ast.ExceptHandler:
+        func = parse_function(source)
+        return func.body[0].handlers[0]
+
+    def test_bare_except(self):
+        handler = self._handler(
+            """\
+            def f():
+                try:
+                    pass
+                except:
+                    pass
+            """
+        )
+        assert handler_catches_all(handler)
+
+    def test_narrow_except(self):
+        handler = self._handler(
+            """\
+            def f():
+                try:
+                    pass
+                except ValueError:
+                    pass
+            """
+        )
+        assert not handler_catches_all(handler)
+
+    def test_tuple_with_broad_member(self):
+        handler = self._handler(
+            """\
+            def f():
+                try:
+                    pass
+                except (ValueError, Exception):
+                    pass
+            """
+        )
+        assert handler_catches_all(handler)

@@ -11,6 +11,7 @@ from repro.analysis import (
     LintEngine,
     apply_baseline,
     findings_to_json,
+    format_findings_github,
     load_baseline,
     pragma_rules_by_line,
     registered_rules,
@@ -18,20 +19,28 @@ from repro.analysis import (
 )
 from repro.exceptions import ConfigurationError
 
-from tests.analysis.helpers import FIXTURES, LIBRARY_PATH, lint_fixture
+from tests.analysis.helpers import (
+    FIXTURES,
+    LIBRARY_PATH,
+    fixture_text,
+    lint_fixture,
+)
 
 EXPECTED_RULES = {
     "atomic-write",
     "broad-except",
     "determinism",
+    "fault-contract",
     "float-equality",
     "lock-discipline",
+    "lock-order",
     "pool-safety",
+    "resource-lifecycle",
 }
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert set(registered_rules()) == EXPECTED_RULES
 
     def test_unknown_select_is_a_configuration_error(self):
@@ -144,3 +153,53 @@ class TestFormatting:
         assert payload["counts"] == {"determinism": 1}
         assert payload["findings"][0]["line"] == 3
         assert payload["findings"][0]["rule"] == "determinism"
+
+    def test_github_annotation_format(self):
+        text = format_findings_github([_finding()])
+        assert text == (
+            "::error file=src/repro/x.py,line=3,col=1,"
+            "title=repro lint [determinism]::msg"
+        )
+
+    def test_github_annotation_escapes_message_and_properties(self):
+        finding = Finding(
+            path="src/a,b.py", line=1, col=2, rule="determinism",
+            message="50% broken\nsecond: line",
+        )
+        text = format_findings_github([finding])
+        assert "file=src/a%2Cb.py" in text
+        assert text.endswith("::50%25 broken%0Asecond: line")
+        assert "\n" not in text
+
+
+class TestParallelAndCache:
+    def _library(self, tmp_path):
+        library = tmp_path / "library"
+        library.mkdir()
+        for name in ("bad_determinism.py", "bad_atomic_write.py"):
+            (library / name).write_text(fixture_text(name), encoding="utf-8")
+        return library
+
+    def test_parallel_run_matches_serial_findings(self, tmp_path):
+        library = self._library(tmp_path)
+        serial = LintEngine().lint_paths([str(library)])
+        parallel = LintEngine(jobs=4).lint_paths([str(library)])
+        assert serial != []
+        assert parallel == serial
+
+    def test_warm_cache_reproduces_findings(self, tmp_path):
+        library = self._library(tmp_path)
+        cache = tmp_path / "lint-cache.json"
+        cold = LintEngine(cache_path=str(cache)).lint_paths([str(library)])
+        assert cache.exists()
+        warm = LintEngine(cache_path=str(cache)).lint_paths([str(library)])
+        assert warm == cold != []
+
+    def test_cache_invalidates_on_file_change(self, tmp_path):
+        library = self._library(tmp_path)
+        cache = tmp_path / "lint-cache.json"
+        LintEngine(cache_path=str(cache)).lint_paths([str(library)])
+        target = library / "bad_determinism.py"
+        target.write_text("ANSWER = 42\n", encoding="utf-8")
+        findings = LintEngine(cache_path=str(cache)).lint_paths([str(library)])
+        assert all(finding.path != str(target) for finding in findings)

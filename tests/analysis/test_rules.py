@@ -205,3 +205,146 @@ class TestLockDiscipline:
         )
         assert len(findings) == 1
         assert "_items" in findings[0].message
+
+
+class TestLockOrder:
+    def test_bad_fixture_reports_cycle_blocking_and_reacquire(self):
+        findings = lint_fixture("bad_lock_order.py")
+        assert [finding.rule for finding in findings] == ["lock-order"] * 3
+        assert [finding.line for finding in findings] == [16, 24, 28]
+        messages = "\n".join(finding.message for finding in findings)
+        assert "lock-order cycle" in messages
+        assert "time.sleep" in messages
+        assert "re-acquired" in messages
+
+    def test_ok_fixture_consistent_order(self):
+        assert lint_fixture("ok_lock_order.py") == []
+
+    def test_tests_are_exempt(self):
+        assert lint_fixture("bad_lock_order.py", TEST_PATH) == []
+
+    def test_condition_wait_on_the_held_condition_is_exempt(self):
+        findings = lint_text(
+            """\
+            import threading
+
+
+            class Box:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def take(self):
+                    with self._cond:
+                        self._cond.wait()
+            """,
+            select=["lock-order"],
+        )
+        assert findings == []
+
+    def test_untimed_join_under_a_lock_is_blocking(self):
+        findings = lint_text(
+            """\
+            import threading
+
+
+            class Owner:
+                def __init__(self, worker):
+                    self._lock = threading.Lock()
+                    self.worker = worker
+
+                def stop(self):
+                    with self._lock:
+                        self.worker.join()
+            """,
+            select=["lock-order"],
+        )
+        assert len(findings) == 1
+        assert "un-timed join" in findings[0].message
+
+
+class TestFaultContract:
+    def test_bad_fixture_process_entry_point(self):
+        findings = lint_fixture("bad_fault_contract.py")
+        assert [finding.rule for finding in findings] == ["fault-contract"] * 2
+        assert [finding.line for finding in findings] == [15, 16]
+        assert "process entry point" in findings[0].message
+
+    def test_ok_fixture_catch_all_boundary(self):
+        assert lint_fixture("ok_fault_contract.py") == []
+
+    def test_tests_are_exempt(self):
+        assert lint_fixture("bad_fault_contract.py", TEST_PATH) == []
+
+    def test_http_do_method_is_a_boundary(self):
+        findings = lint_text(
+            """\
+            from http.server import BaseHTTPRequestHandler
+
+
+            class Api(BaseHTTPRequestHandler):
+                def do_GET(self):
+                    raise ValueError("boom")
+            """,
+            select=["fault-contract"],
+        )
+        assert len(findings) == 1
+        assert "HTTP handler" in findings[0].message
+
+    def test_execute_unit_contract_is_a_boundary(self):
+        findings = lint_text(
+            """\
+            def execute_unit(fn, item):
+                return fn(item)
+            """,
+            select=["fault-contract"],
+        )
+        assert len(findings) == 1
+        assert "fault-isolation contract" in findings[0].message
+
+
+class TestResourceLifecycle:
+    def test_bad_fixture_leaks_on_both_paths(self):
+        findings = lint_fixture("bad_resource_lifecycle.py")
+        rules = [finding.rule for finding in findings]
+        assert rules == ["resource-lifecycle"] * 2
+        assert [finding.line for finding in findings] == [6, 12]
+        assert "file handle" in findings[0].message
+
+    def test_ok_fixture(self):
+        assert lint_fixture("ok_resource_lifecycle.py") == []
+
+    def test_ownership_transfer_ends_the_obligation(self):
+        findings = lint_text(
+            """\
+            def fetch(path):
+                handle = open(path, "rb")
+                return handle
+            """,
+            select=["resource-lifecycle"],
+        )
+        assert findings == []
+
+    def test_close_only_on_the_happy_path_is_reported(self):
+        findings = lint_text(
+            """\
+            def read_size(path):
+                handle = open(path, "rb")
+                handle.seek(0, 2)
+                handle.close()
+            """,
+            select=["resource-lifecycle"],
+        )
+        assert len(findings) == 1
+        assert "exception path" in findings[0].message
+
+    def test_with_statement_counts_as_the_release(self):
+        findings = lint_text(
+            """\
+            def read_all(path):
+                handle = open(path, "rb")
+                with handle:
+                    handle.seek(0)
+            """,
+            select=["resource-lifecycle"],
+        )
+        assert findings == []

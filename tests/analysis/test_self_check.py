@@ -19,9 +19,12 @@ ALL_RULE_IDS = (
     "atomic-write",
     "broad-except",
     "determinism",
+    "fault-contract",
     "float-equality",
     "lock-discipline",
+    "lock-order",
     "pool-safety",
+    "resource-lifecycle",
 )
 
 
@@ -63,6 +66,9 @@ LIBRARY_FIXTURES = [
     ("bad_broad_except.py", "broad-except"),
     ("bad_atomic_write.py", "atomic-write"),
     ("bad_lock_discipline.py", "lock-discipline"),
+    ("bad_lock_order.py", "lock-order"),
+    ("bad_fault_contract.py", "fault-contract"),
+    ("bad_resource_lifecycle.py", "resource-lifecycle"),
 ]
 
 
@@ -97,6 +103,9 @@ class TestPerRuleExitCodes:
             "ok_broad_except.py",
             "ok_atomic_write.py",
             "ok_lock_discipline.py",
+            "ok_lock_order.py",
+            "ok_fault_contract.py",
+            "ok_resource_lifecycle.py",
         ):
             shutil.copyfile(FIXTURES / fixture, library / fixture)
         tests_dir = tmp_path / "tests"
